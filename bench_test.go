@@ -1,0 +1,172 @@
+package ispn_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding experiment end to end on a shortened horizon (the paper
+// simulates 600 s; benchmarks default to 60 s so `go test -bench=.`
+// completes in minutes) and reports domain metrics alongside wall-clock
+// time. Regenerate the full-length numbers with `go run ./cmd/ispnsim all`.
+
+import (
+	"testing"
+
+	"ispn"
+	"ispn/internal/experiments"
+)
+
+const benchSimSeconds = 60
+
+func benchCfg(i int) experiments.RunConfig {
+	return experiments.RunConfig{Duration: benchSimSeconds, Seed: int64(1992 + i)}
+}
+
+// BenchmarkTable1 regenerates paper Table 1: WFQ vs FIFO mean and
+// 99.9th-percentile delay on one 83.5%-utilized link.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchCfg(i))
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].AllFlows.P999, "WFQ-p999-ms")
+			b.ReportMetric(rows[1].AllFlows.P999, "FIFO-p999-ms")
+			b.ReportMetric(rows[1].AllFlows.Mean, "FIFO-mean-ms")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure-1 configuration: it validates the
+// 22-flow layout and pushes the Table-2 workload through the chain once
+// under FIFO (the cheapest discipline), measuring simulator throughput.
+func BenchmarkFigure1(b *testing.B) {
+	if err := experiments.ValidateFigure1(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2Single(experiments.DiscFIFO, benchCfg(i))
+		if rows.PerPath[3].N == 0 {
+			b.Fatal("no packets crossed the chain")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates paper Table 2: WFQ vs FIFO vs FIFO+ delay
+// versus path length on the Figure-1 chain.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchCfg(i))
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.PerPath[3].P999, string(r.Scheduler)+"-len4-p999-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates paper Table 3: the unified scheduler carrying
+// guaranteed, predicted and TCP datagram traffic at >99% utilization.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(benchCfg(i))
+		if i == b.N-1 {
+			b.ReportMetric(res.ByKind[experiments.GuaranteedPeak].P999, "GPeak-p999-ms")
+			b.ReportMetric(res.ByKind[experiments.PredictedHigh].P999, "PHigh-p999-ms")
+			b.ReportMetric(res.ByKind[experiments.PredictedLow].P999, "PLow-p999-ms")
+			b.ReportMetric(100*res.LinkUtil[0], "L1-util-%")
+			b.ReportMetric(100*res.DatagramDropRate, "dgram-drop-%")
+		}
+	}
+}
+
+// BenchmarkAblationIsolation regenerates ablation A (Section 5): who pays
+// for a burst under isolation vs sharing.
+func BenchmarkAblationIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationIsolation(benchCfg(i))
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Burster.P999, string(r.Scheduler)+"-burster-p999-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHops regenerates ablation B (Section 6): jitter growth
+// with hop count under FIFO, FIFO+ and round robin.
+func BenchmarkAblationHops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationHops(benchCfg(i), 4)
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.P999[experiments.DiscFIFO], "FIFO-4hop-p999-ms")
+			b.ReportMetric(last.P999[experiments.DiscFIFOPlus], "FIFO+-4hop-p999-ms")
+		}
+	}
+}
+
+// BenchmarkAblationAdmission regenerates ablation C (Section 9):
+// measurement-based vs worst-case admission.
+func BenchmarkAblationAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationAdmission(experiments.RunConfig{Duration: 120, Seed: int64(1 + i)}, 20)
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.RealTimeUtil, r.Policy+"-util-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPlayback regenerates ablation D (Sections 2-3): adaptive
+// vs rigid play-back points.
+func BenchmarkAblationPlayback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPlayback(benchCfg(i))
+		if i == b.N-1 {
+			b.ReportMetric(r.APrioriBoundMS, "apriori-ms")
+			b.ReportMetric(r.AdaptivePointMS, "adaptive-point-ms")
+		}
+	}
+}
+
+// BenchmarkAblationDiscard regenerates ablation E (Section 10): in-network
+// late discard driven by the jitter-offset header field.
+func BenchmarkAblationDiscard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationDiscard(benchCfg(i), []float64{0, 10})
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[1].Discarded), "discarded-pkts")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed on the Table-3
+// configuration: simulated packet-hops per wall-clock second dominate how
+// long every other experiment takes.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(experiments.RunConfig{Duration: 30, Seed: int64(i)})
+	}
+}
+
+// BenchmarkFacadeSmallNetwork measures end-to-end cost of the public API on
+// a small mixed-service network.
+func BenchmarkFacadeSmallNetwork(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := ispn.New(ispn.Config{Seed: int64(i)})
+		net.AddSwitch("A")
+		net.AddSwitch("B")
+		net.Connect("A", "B")
+		f, err := net.RequestPredicted(1, []string{"A", "B"}, ispn.PredictedSpec{
+			TokenRate: 85_000, BucketBits: 50_000, Delay: 0.1, Loss: 0.01,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := ispn.NewMarkovSource(ispn.MarkovConfig{
+			SizeBits: 1000, PeakRate: 170, AvgRate: 85, Burst: 5,
+			RNG: ispn.DeriveRNG(int64(i), "bench"),
+		})
+		ispn.StartSource(net, src, f)
+		net.Run(5)
+	}
+}

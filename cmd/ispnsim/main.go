@@ -1,0 +1,147 @@
+// Command ispnsim regenerates every table and figure of Clark, Shenker &
+// Zhang (SIGCOMM 1992) plus the ablation studies in DESIGN.md.
+//
+// Usage:
+//
+//	ispnsim [-duration s] [-seed n] <experiment>
+//
+// where <experiment> is one of: table1, table2, table3, figure1, all,
+// ablation-isolation, ablation-hops, admission, playback, discard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ispn/internal/experiments"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ispnsim [flags] <experiment>
+
+experiments:
+  table1              paper Table 1: WFQ vs FIFO on one link
+  table2              paper Table 2: WFQ vs FIFO vs FIFO+ over 1-4 hops
+  table3              paper Table 3: unified scheduler, all service classes
+  figure1             paper Figure 1: topology and flow layout
+  ablation-isolation  Section 5: isolation vs sharing with one bursty flow
+  ablation-hops       Section 6: jitter growth with path length (1-8 hops)
+  admission           Section 9: measurement-based vs worst-case admission
+  playback            Sections 2-3: adaptive vs rigid play-back points
+  discard             Section 10: jitter-offset-driven late discard
+  compare             extension: the full scheduling zoo on one workload
+  sweep               extension: delay vs utilization curve per discipline
+  dist                extension: full delay distributions (ASCII histogram)
+  all                 everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	duration := flag.Float64("duration", 600, "simulated seconds per run (paper: 600)")
+	seed := flag.Int64("seed", 1992, "random seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.RunConfig{Duration: *duration, Seed: *seed}
+
+	run := func(name string, fn func() string) {
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		fmt.Printf("[%s: %.1fs wall clock, %.0fs simulated]\n\n", name, time.Since(start).Seconds(), *duration)
+	}
+
+	experimentsByName := map[string]func(){
+		"figure1": func() {
+			fmt.Println(experiments.Figure1Diagram())
+			if err := experiments.ValidateFigure1(); err != nil {
+				fmt.Fprintln(os.Stderr, "layout INVALID:", err)
+				os.Exit(1)
+			}
+			fmt.Println("\n22 flows: 12 x 1 hop, 4 x 2 hops, 4 x 3 hops, 2 x 4 hops;")
+			fmt.Println("every inter-switch link carries exactly 10 flows (validated).")
+		},
+		"table1": func() {
+			run("table1", func() string { return experiments.FormatTable1(experiments.Table1(cfg)) })
+		},
+		"table2": func() {
+			run("table2", func() string { return experiments.FormatTable2(experiments.Table2(cfg)) })
+		},
+		"table3": func() {
+			run("table3", func() string { return experiments.FormatTable3(experiments.Table3(cfg)) })
+		},
+		"ablation-isolation": func() {
+			run("ablation-isolation", func() string {
+				return experiments.FormatIsolation(experiments.AblationIsolation(cfg))
+			})
+		},
+		"ablation-hops": func() {
+			run("ablation-hops", func() string {
+				return experiments.FormatHops(experiments.AblationHops(cfg, 8))
+			})
+		},
+		"admission": func() {
+			run("admission", func() string {
+				return experiments.FormatAdmission(experiments.AblationAdmission(cfg, 150))
+			})
+		},
+		"playback": func() {
+			run("playback", func() string {
+				return experiments.FormatPlayback(experiments.AblationPlayback(cfg))
+			})
+		},
+		"discard": func() {
+			run("discard", func() string {
+				return experiments.FormatDiscard(experiments.AblationDiscard(cfg, nil))
+			})
+		},
+		"compare": func() {
+			run("compare", func() string {
+				return experiments.FormatComparison(experiments.CompareDisciplines(cfg))
+			})
+		},
+		"sweep": func() {
+			run("sweep", func() string {
+				return experiments.FormatSweep(experiments.SweepLoad(cfg, nil, nil), nil)
+			})
+		},
+		"dist": func() {
+			run("dist", func() string {
+				var b string
+				for _, d := range []experiments.Discipline{experiments.DiscWFQ, experiments.DiscFIFO} {
+					h := experiments.DelayDistribution(d, cfg)
+					b += fmt.Sprintf("aggregate delay distribution, %s (Table-1 workload):\n%s\n",
+						d, h.Render(1000, "ms"))
+				}
+				return b
+			})
+		},
+	}
+	order := []string{"figure1", "table1", "table2", "table3",
+		"ablation-isolation", "ablation-hops", "admission", "playback", "discard",
+		"compare", "sweep", "dist"}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range order {
+			fmt.Printf("=== %s ===\n", n)
+			experimentsByName[n]()
+		}
+		return
+	}
+	fn, ok := experimentsByName[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+	fn()
+}

@@ -1,0 +1,97 @@
+// Mixedservices: the paper's full service taxonomy on one bottleneck.
+//
+// A surgeon's tele-assist video (intolerant and rigid: guaranteed service),
+// a family-reunion video chat (tolerant and adaptive: predicted service)
+// and a bulk TCP file transfer (datagram) share a two-hop path. The
+// guaranteed flow's worst case obeys its Parekh-Gallager bound, the
+// predicted flow rides cheaply at low delay, and TCP soaks up the rest.
+//
+// Run with: go run ./examples/mixedservices
+package main
+
+import (
+	"fmt"
+
+	"ispn"
+)
+
+const (
+	seed     = 99
+	duration = 600.0
+	pktBits  = 1000
+)
+
+func main() {
+	net := ispn.New(ispn.Config{Seed: seed})
+	for _, s := range []string{"A", "B", "C"} {
+		net.AddSwitch(s)
+	}
+	net.ConnectDuplex("A", "B")
+	net.ConnectDuplex("B", "C")
+	path := []string{"A", "B", "C"}
+
+	// Guaranteed: the surgeon's feed reserves its peak rate, 170 kbit/s.
+	surgeon, err := net.RequestGuaranteed(1, path, ispn.GuaranteedSpec{
+		ClockRate:  170_000,
+		BucketBits: pktBits, // a peak-rate source needs a one-packet bucket
+	})
+	if err != nil {
+		panic(err)
+	}
+	ispn.StartSource(net, ispn.NewMarkovSource(ispn.MarkovConfig{
+		SizeBits: pktBits, PeakRate: 170, AvgRate: 85, Burst: 5,
+		RNG: ispn.DeriveRNG(seed, "surgeon"),
+	}), surgeon)
+
+	// Predicted: the family call declares (85 kbit/s, 50 kbit) and wants
+	// 200 ms at 1% loss; it lands in whichever class is cheapest.
+	family, err := net.RequestPredicted(2, path, ispn.PredictedSpec{
+		TokenRate:  85_000,
+		BucketBits: 50_000,
+		Delay:      0.2,
+		Loss:       0.01,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ispn.StartSource(net, ispn.NewMarkovSource(ispn.MarkovConfig{
+		SizeBits: pktBits, PeakRate: 170, AvgRate: 85, Burst: 5,
+		RNG: ispn.DeriveRNG(seed, "family"),
+	}), family)
+	adaptive := ispn.NewAdaptiveClient(ispn.AdaptiveConfig{
+		InitialPoint: family.Bound(),
+		TargetLoss:   0.01,
+	})
+	family.Tap(func(p *ispn.Packet, q float64) {
+		adaptive.Deliver(net.Engine().Now(), q)
+	})
+
+	// Datagram: a greedy file transfer.
+	ftp := ispn.NewTCP(net, ispn.TCPConfig{
+		DataFlowID: 10, AckFlowID: 11,
+		Path: path, ReversePath: []string{"C", "B", "A"},
+	})
+	ftp.Start()
+
+	net.Run(duration)
+
+	fmt.Println("after", duration, "simulated seconds on a shared 1 Mbit/s path:")
+	fmt.Printf("\nsurgeon (guaranteed, clock 170 kbit/s):\n")
+	fmt.Printf("  delays mean %.2f / max %.2f ms; P-G bound %.2f ms (packetized %.2f ms)\n",
+		surgeon.Meter().Mean()*1000, surgeon.Meter().Max()*1000,
+		surgeon.Bound()*1000,
+		ispn.PGBoundPacketized(pktBits, 170_000, 2, pktBits, 1e6)*1000)
+	fmt.Printf("\nfamily call (predicted, class %d, advertised bound %.0f ms):\n",
+		family.Priority, family.Bound()*1000)
+	fmt.Printf("  delays mean %.2f / 99.9%%ile %.2f ms\n",
+		family.Meter().Mean()*1000, family.Meter().Percentile(0.999)*1000)
+	fmt.Printf("  adaptive play-back point settled at %.1f ms (losses %d/%d)\n",
+		adaptive.Point()*1000, adaptive.Losses(), adaptive.Total())
+	fmt.Printf("\nfile transfer (datagram): %.0f kbit/s goodput, %d retransmits\n",
+		ftp.ThroughputBits(duration)/1000, ftp.Stats().Retransmits)
+	for _, hop := range [][2]string{{"A", "B"}, {"B", "C"}} {
+		port := net.Topology().Node(hop[0]).Port(hop[1])
+		fmt.Printf("link %s->%s utilization: %.1f%%\n", hop[0], hop[1],
+			100*port.TotalUtilization(duration))
+	}
+}

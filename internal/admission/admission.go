@@ -1,0 +1,177 @@
+// Package admission implements the paper's Section 9 measurement-based
+// admission control for one link.
+//
+// The controller keeps two kinds of measured state: ν̂, a conservative
+// (peak-of-recent-windows) estimate of the real-time utilization of the
+// link, and d̂ⱼ, a conservative estimate of the recent maximal queueing
+// delay of each predicted class j at this switch. A new predicted flow
+// declaring a token bucket (r, b) is admitted into class i iff
+//
+//	(1) r + ν̂ < q·µ                          (datagram quota preserved)
+//	(2) b < (Dⱼ − d̂ⱼ)(µ − ν̂ − r)  for all j ≥ i (equal or lower priority)
+//
+// where q = 0.9 and Dⱼ are the per-switch class delay targets. A guaranteed
+// request of clock rate r is checked against (1) only — guaranteed
+// commitments are "higher in priority than all levels i" and make no
+// bucket-depth commitment.
+//
+// Following Section 9, only the *new* source is counted worst-case: existing
+// flows enter the computation through measurement. Because measurement lags
+// admission, freshly admitted flows contribute their declared rate to ν̂
+// until the measurement has had time to see them (the ledger below).
+package admission
+
+import (
+	"fmt"
+
+	"ispn/internal/packet"
+	"ispn/internal/stats"
+)
+
+// Controller is the per-link admission controller.
+type Controller struct {
+	mu      float64   // link rate, bits/s
+	quota   float64   // real-time cap as a fraction of mu (paper: 0.9)
+	targets []float64 // per-class delay targets D_j (seconds at this switch)
+
+	rt         *stats.RateMeter // measured real-time bits
+	classDelay func(class int, now float64) float64
+
+	warmup float64 // how long a declared rate stays in the ledger
+	ledger []ledgerEntry
+}
+
+type ledgerEntry struct {
+	rate    float64
+	expires float64
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// LinkRate is µ in bits/second.
+	LinkRate float64
+	// Quota is the maximum real-time fraction (0 defaults to 0.9).
+	Quota float64
+	// ClassTargets are the per-switch targets D_j, highest priority
+	// first.
+	ClassTargets []float64
+	// ClassDelay returns the measured conservative class delay d̂_j; nil
+	// means "no measurement yet" (0 is assumed).
+	ClassDelay func(class int, now float64) float64
+	// MeasureWindow is the ν̂ averaging window in seconds (0 = 1s), and
+	// MeasureKeep how many windows the peak is taken over (0 = 10).
+	MeasureWindow float64
+	MeasureKeep   int
+	// Warmup is how long a newly admitted flow's declared rate is
+	// counted into ν̂ before measurement takes over (0 = 3s).
+	Warmup float64
+}
+
+// New builds a Controller.
+func New(cfg Config) *Controller {
+	if cfg.LinkRate <= 0 {
+		panic("admission: link rate must be positive")
+	}
+	if cfg.Quota == 0 {
+		cfg.Quota = 0.9
+	}
+	if cfg.Quota <= 0 || cfg.Quota > 1 {
+		panic("admission: quota must be in (0,1]")
+	}
+	if len(cfg.ClassTargets) == 0 {
+		panic("admission: need at least one class target")
+	}
+	if cfg.MeasureWindow == 0 {
+		cfg.MeasureWindow = 1.0
+	}
+	if cfg.MeasureKeep == 0 {
+		cfg.MeasureKeep = 10
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 3.0
+	}
+	return &Controller{
+		mu:         cfg.LinkRate,
+		quota:      cfg.Quota,
+		targets:    append([]float64(nil), cfg.ClassTargets...),
+		rt:         stats.NewRateMeter(cfg.MeasureWindow, cfg.MeasureKeep),
+		classDelay: cfg.ClassDelay,
+		warmup:     cfg.Warmup,
+	}
+}
+
+// ObserveTransmit feeds the utilization measurement; wire it to the port's
+// OnTransmit hook. Only real-time (guaranteed + predicted) traffic counts
+// toward ν̂.
+func (c *Controller) ObserveTransmit(p *packet.Packet, now float64) {
+	if p.Class == packet.Datagram {
+		return
+	}
+	c.rt.Add(now, float64(p.Size))
+}
+
+// Utilization returns ν̂ at time now: the conservative measured real-time
+// rate plus the declared rates still in the warmup ledger, in bits/second.
+func (c *Controller) Utilization(now float64) float64 {
+	nu := c.rt.PeakRate(now)
+	kept := c.ledger[:0]
+	for _, e := range c.ledger {
+		if e.expires > now {
+			kept = append(kept, e)
+			nu += e.rate
+		}
+	}
+	c.ledger = kept
+	return nu
+}
+
+// ErrRejected is returned (wrapped) when a request fails the criteria.
+type ErrRejected struct {
+	Criterion int // 1 or 2
+	Class     int // class j that failed criterion 2 (criterion 1: -1)
+	Detail    string
+}
+
+// Error implements error.
+func (e *ErrRejected) Error() string {
+	return fmt.Sprintf("admission rejected (criterion %d, class %d): %s", e.Criterion, e.Class, e.Detail)
+}
+
+// AdmitGuaranteed tests a guaranteed request of clock rate r at time now and
+// on success records the declared rate in the ledger.
+func (c *Controller) AdmitGuaranteed(now, r float64) error {
+	nu := c.Utilization(now)
+	if r+nu >= c.quota*c.mu {
+		return &ErrRejected{Criterion: 1, Class: -1,
+			Detail: fmt.Sprintf("r=%.0f + ν̂=%.0f >= %.2f·µ=%.0f", r, nu, c.quota, c.quota*c.mu)}
+	}
+	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup})
+	return nil
+}
+
+// AdmitPredicted tests a predicted request (r, b) into class at time now and
+// on success records the declared rate.
+func (c *Controller) AdmitPredicted(now, r, b float64, class int) error {
+	if class < 0 || class >= len(c.targets) {
+		return fmt.Errorf("admission: class %d out of range", class)
+	}
+	nu := c.Utilization(now)
+	if r+nu >= c.quota*c.mu {
+		return &ErrRejected{Criterion: 1, Class: -1,
+			Detail: fmt.Sprintf("r=%.0f + ν̂=%.0f >= %.2f·µ=%.0f", r, nu, c.quota, c.quota*c.mu)}
+	}
+	for j := class; j < len(c.targets); j++ {
+		dj := 0.0
+		if c.classDelay != nil {
+			dj = c.classDelay(j, now)
+		}
+		room := (c.targets[j] - dj) * (c.mu - nu - r)
+		if b >= room {
+			return &ErrRejected{Criterion: 2, Class: j,
+				Detail: fmt.Sprintf("b=%.0f >= (D=%.4f − d̂=%.4f)·(µ−ν̂−r=%.0f) = %.0f",
+					b, c.targets[j], dj, c.mu-nu-r, room)}
+		}
+	}
+	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup})
+	return nil
+}

@@ -1,0 +1,196 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+
+	"ispn/internal/packet"
+)
+
+func newCtl(classDelay func(int, float64) float64) *Controller {
+	return New(Config{
+		LinkRate:     1e6,
+		ClassTargets: []float64{0.032, 0.32},
+		ClassDelay:   classDelay,
+	})
+}
+
+func TestAdmitIntoIdleLink(t *testing.T) {
+	c := newCtl(nil)
+	// Class 0 has target 32 ms: on an idle link the room is
+	// 0.032·9e5 = 28800 bits, so a 20000-bit bucket fits.
+	if err := c.AdmitPredicted(0, 1e5, 2e4, 0); err != nil {
+		t.Fatalf("idle link rejected a modest flow: %v", err)
+	}
+	// The low class (target 320 ms) takes a much deeper bucket.
+	if err := c.AdmitPredicted(0, 1e5, 2e5, 1); err != nil {
+		t.Fatalf("idle link rejected a deep-bucket low-class flow: %v", err)
+	}
+	if err := c.AdmitGuaranteed(10, 2e5); err != nil {
+		t.Fatalf("idle link rejected a guaranteed flow: %v", err)
+	}
+}
+
+func TestCriterion1DatagramQuota(t *testing.T) {
+	c := newCtl(nil)
+	// 0.9 * 1e6 = 900k. A 950k request must fail even on an idle link.
+	err := c.AdmitGuaranteed(0, 9.5e5)
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Criterion != 1 {
+		t.Fatalf("err = %v, want criterion-1 rejection", err)
+	}
+}
+
+func TestCriterion1CountsMeasuredUtilization(t *testing.T) {
+	c := newCtl(nil)
+	// Feed 600 kbit/s of real-time traffic for 15 seconds.
+	for i := 0; i < 15000; i++ {
+		now := float64(i) * 0.001
+		c.ObserveTransmit(&packet.Packet{Size: 600, Class: packet.Predicted}, now)
+	}
+	// ν̂ ~ 600k, so a 400k request breaks r + ν̂ < 900k.
+	err := c.AdmitGuaranteed(15, 4e5)
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Criterion != 1 {
+		t.Fatalf("err = %v, want criterion-1 rejection", err)
+	}
+	// A 200k request still fits.
+	if err := c.AdmitGuaranteed(15, 2e5); err != nil {
+		t.Fatalf("200k request rejected: %v", err)
+	}
+}
+
+func TestDatagramTrafficDoesNotCountTowardNuHat(t *testing.T) {
+	c := newCtl(nil)
+	for i := 0; i < 15000; i++ {
+		now := float64(i) * 0.001
+		c.ObserveTransmit(&packet.Packet{Size: 900, Class: packet.Datagram}, now)
+	}
+	if err := c.AdmitGuaranteed(15, 8e5); err != nil {
+		t.Fatalf("datagram load should not block real-time admission: %v", err)
+	}
+}
+
+func TestCriterion2BucketTooDeep(t *testing.T) {
+	// With measured class delay d̂ near the target D, even a small bucket
+	// must be rejected for that class.
+	c := newCtl(func(class int, now float64) float64 {
+		if class == 0 {
+			return 0.030 // nearly at the 0.032 target
+		}
+		return 0
+	})
+	// Room for class 0: (0.032-0.030)*(1e6-0-1e5) = 0.002*9e5 = 1800 bits.
+	err := c.AdmitPredicted(0, 1e5, 5e4, 0)
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Criterion != 2 || rej.Class != 0 {
+		t.Fatalf("err = %v, want criterion-2 rejection for class 0", err)
+	}
+	// A tiny bucket fits.
+	if err := c.AdmitPredicted(0, 1e5, 1000, 0); err != nil {
+		t.Fatalf("tiny bucket rejected: %v", err)
+	}
+}
+
+func TestCriterion2ChecksLowerClassesToo(t *testing.T) {
+	// A high-priority admission must not break the lower class's target:
+	// d̂ of class 1 near its target blocks admission into class 0.
+	c := newCtl(func(class int, now float64) float64 {
+		if class == 1 {
+			return 0.319
+		}
+		return 0
+	})
+	// b=20000 passes class 0's own room ((0.032)(9e5) = 28800) but not
+	// class 1's ((0.32-0.319)(9e5) = 900).
+	err := c.AdmitPredicted(0, 1e5, 2e4, 0)
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Criterion != 2 || rej.Class != 1 {
+		t.Fatalf("err = %v, want criterion-2 rejection for class 1", err)
+	}
+}
+
+func TestLowClassAdmissionIgnoresHigherClassDelays(t *testing.T) {
+	// Class-0 congestion is irrelevant when admitting into class 1
+	// (criterion 2 applies to equal or lower priority only).
+	c := newCtl(func(class int, now float64) float64 {
+		if class == 0 {
+			return 0.031
+		}
+		return 0
+	})
+	if err := c.AdmitPredicted(0, 1e5, 5e4, 1); err != nil {
+		t.Fatalf("class-1 admission blocked by class-0 delay: %v", err)
+	}
+}
+
+func TestLedgerMakesBackToBackAdmissionsConservative(t *testing.T) {
+	c := newCtl(nil)
+	// Admit 8 flows of 200k each in quick succession on an idle link:
+	// measurement sees nothing yet, but the ledger must stop the pile-up
+	// after 4 (4*200k < 900k, 5th would hit 1000k >= 900k).
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		if err := c.AdmitGuaranteed(0.1*float64(i), 2e5); err == nil {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d back-to-back 200k flows, want 4", admitted)
+	}
+}
+
+func TestLedgerExpires(t *testing.T) {
+	c := newCtl(nil)
+	if err := c.AdmitGuaranteed(0, 8e5); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately, the declared 800k blocks everything.
+	if err := c.AdmitGuaranteed(0.1, 2e5); err == nil {
+		t.Fatal("ledger did not block immediate second admission")
+	}
+	// After warmup (3s) with no measured traffic (the flow never actually
+	// sent), capacity frees up again.
+	if err := c.AdmitGuaranteed(10, 2e5); err != nil {
+		t.Fatalf("expired ledger still blocking: %v", err)
+	}
+}
+
+func TestUtilizationCombinesMeasurementAndLedger(t *testing.T) {
+	c := newCtl(nil)
+	for i := 0; i < 5000; i++ {
+		c.ObserveTransmit(&packet.Packet{Size: 300, Class: packet.Guaranteed}, float64(i)*0.001)
+	}
+	if err := c.AdmitGuaranteed(5, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	nu := c.Utilization(5)
+	if nu < 3.5e5 || nu > 4.5e5 {
+		t.Fatalf("ν̂ = %v, want ~400k (300k measured + 100k declared)", nu)
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	c := newCtl(nil)
+	if err := c.AdmitPredicted(0, 1e5, 1e3, 7); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LinkRate: 0, ClassTargets: []float64{0.1}},
+		{LinkRate: 1e6, Quota: 1.5, ClassTargets: []float64{0.1}},
+		{LinkRate: 1e6},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"ispn/internal/admission"
+	"ispn/internal/packet"
+	"ispn/internal/topology"
+)
+
+// Admission glue: one measurement-based controller per port, created lazily
+// when Config.AdmissionControl is set, fed from the port's transmit hook and
+// the unified scheduler's per-class delay measurements.
+
+func (n *Network) controller(pt *topology.Port) *admission.Controller {
+	if n.admit == nil {
+		n.admit = make(map[*topology.Port]*admission.Controller)
+	}
+	if c, ok := n.admit[pt]; ok {
+		return c
+	}
+	u := n.uni[pt]
+	c := admission.New(admission.Config{
+		LinkRate:     n.cfg.LinkRate,
+		Quota:        1 - n.cfg.DatagramQuota,
+		ClassTargets: n.cfg.ClassTargets,
+		ClassDelay: func(class int, now float64) float64 {
+			return u.ClassDelayEstimate(class, now)
+		},
+	})
+	// Chain rather than replace: experiments attach their own accounting
+	// to the same hook.
+	prev := pt.OnTransmit
+	if prev == nil {
+		pt.OnTransmit = c.ObserveTransmit
+	} else {
+		pt.OnTransmit = func(p *packet.Packet, now float64) {
+			prev(p, now)
+			c.ObserveTransmit(p, now)
+		}
+	}
+	n.admit[pt] = c
+	return c
+}
+
+func (n *Network) admitGuaranteed(pt *topology.Port, rate float64) error {
+	return n.controller(pt).AdmitGuaranteed(n.eng.Now(), rate)
+}
+
+func (n *Network) admitPredicted(pt *topology.Port, spec PredictedSpec, class int) error {
+	return n.controller(pt).AdmitPredicted(n.eng.Now(), spec.TokenRate, spec.BucketBits, class)
+}
+
+// notePredicted and unnotePredicted exist so that admitted-but-unmeasured
+// declared rates are visible to subsequent admission decisions; the
+// controller's ledger handles this internally on successful admission, so
+// there is nothing extra to do when admission control is enabled, and
+// nothing at all when it is disabled.
+func (n *Network) notePredicted(ports []*topology.Port, spec PredictedSpec) {}
+
+func (n *Network) unnotePredicted(ports []*topology.Port, f *Flow) {}

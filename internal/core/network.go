@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+
+	"ispn/internal/admission"
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+	"ispn/internal/stats"
+	"ispn/internal/tokenbucket"
+	"ispn/internal/topology"
+)
+
+// Config parameterizes an ISPN network in which every link runs the unified
+// scheduler.
+type Config struct {
+	// LinkRate is the inter-switch link bandwidth in bits/second
+	// (paper: 1 Mbit/s).
+	LinkRate float64
+	// PredictedClasses is K, the number of predicted-service priority
+	// classes (paper's Table 3 uses 2).
+	PredictedClasses int
+	// ClassTargets is the per-switch a priori delay bound Dᵢ of each
+	// predicted class, in seconds; the advertised bound for a path is
+	// the sum over its hops. Must have PredictedClasses entries. The
+	// paper wants these "widely spaced" (an order of magnitude apart).
+	ClassTargets []float64
+	// BufferPackets is the per-port buffer (paper: 200).
+	BufferPackets int
+	// PropDelay is the per-link propagation delay (paper: effectively 0).
+	PropDelay float64
+	// MaxPacketBits is the largest packet (paper: 1000); used in bound
+	// computation.
+	MaxPacketBits int
+	// FIFOPlusGain tunes the FIFO+ class-average EWMA.
+	FIFOPlusGain float64
+	// Sharing selects the intra-class sharing discipline (ablations).
+	Sharing SharingMode
+	// AdmissionControl enables the Section 9 measurement-based admission
+	// test on Request* calls. When false, requests are only checked
+	// against the hard 90% reservation quota.
+	AdmissionControl bool
+	// DatagramQuota is the fraction of each link reserved for datagram
+	// traffic (paper: 0.10).
+	DatagramQuota float64
+	// Seed drives all randomness derived from this network.
+	Seed int64
+}
+
+// SharingMode selects the sharing discipline inside each predicted class.
+type SharingMode int
+
+const (
+	// SharingFIFOPlus is the paper's design (FIFO+).
+	SharingFIFOPlus SharingMode = iota
+	// SharingFIFO is plain FIFO (no cross-hop correlation).
+	SharingFIFO
+	// SharingRoundRobin is per-flow round robin (the Jacobson–Floyd
+	// alternative).
+	SharingRoundRobin
+)
+
+func (c *Config) fillDefaults() {
+	if c.LinkRate == 0 {
+		c.LinkRate = 1e6
+	}
+	if c.PredictedClasses == 0 {
+		c.PredictedClasses = 2
+	}
+	if c.BufferPackets == 0 {
+		c.BufferPackets = topology.DefaultBufferPackets
+	}
+	if c.MaxPacketBits == 0 {
+		c.MaxPacketBits = 1000
+	}
+	if c.DatagramQuota == 0 {
+		c.DatagramQuota = 0.10
+	}
+	if len(c.ClassTargets) == 0 {
+		// Widely spaced targets, an order of magnitude apart.
+		c.ClassTargets = make([]float64, c.PredictedClasses)
+		d := 0.032
+		for i := range c.ClassTargets {
+			c.ClassTargets[i] = d
+			d *= 10
+		}
+	}
+	if len(c.ClassTargets) != c.PredictedClasses {
+		panic("core: ClassTargets must match PredictedClasses")
+	}
+}
+
+// Network is an ISPN: a topology whose every link runs the unified
+// scheduler, plus the bookkeeping that turns service requests into
+// reservations, enforcement and measurement.
+type Network struct {
+	cfg   Config
+	eng   *sim.Engine
+	topo  *topology.Network
+	uni   map[*topology.Port]*sched.Unified
+	admit map[*topology.Port]*admission.Controller
+	flows map[uint32]*Flow
+}
+
+// New creates an empty ISPN.
+func New(cfg Config) *Network {
+	cfg.fillDefaults()
+	eng := sim.New()
+	return &Network{
+		cfg:   cfg,
+		eng:   eng,
+		topo:  topology.NewNetwork(eng),
+		uni:   make(map[*topology.Port]*sched.Unified),
+		flows: make(map[uint32]*Flow),
+	}
+}
+
+// Engine exposes the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology exposes the underlying topology.
+func (n *Network) Topology() *topology.Network { return n.topo }
+
+// Config returns the network configuration (defaults filled).
+func (n *Network) Config() Config { return n.cfg }
+
+// RNG derives a deterministic named random stream from the network seed.
+func (n *Network) RNG(name string) *sim.RNG { return sim.DeriveRNG(n.cfg.Seed, name) }
+
+// AddSwitch adds a switch.
+func (n *Network) AddSwitch(name string) { n.topo.AddNode(name) }
+
+// Connect adds a unidirectional link from -> to running a unified scheduler.
+func (n *Network) Connect(from, to string) *topology.Port {
+	u := sched.NewUnified(sched.UnifiedConfig{
+		LinkRate:         n.cfg.LinkRate,
+		PredictedClasses: n.cfg.PredictedClasses,
+		FIFOPlusGain:     n.cfg.FIFOPlusGain,
+		PlainFIFO:        n.cfg.Sharing == SharingFIFO,
+		RoundRobin:       n.cfg.Sharing == SharingRoundRobin,
+		MaxPacketBits:    n.cfg.MaxPacketBits,
+	})
+	port := n.topo.AddLink(from, to, u, n.cfg.LinkRate, n.cfg.PropDelay)
+	port.SetBufferLimit(n.cfg.BufferPackets)
+	n.uni[port] = u
+	return port
+}
+
+// ConnectDuplex adds links in both directions (the reverse direction
+// typically carries only TCP ACKs in the paper's experiments).
+func (n *Network) ConnectDuplex(a, b string) {
+	n.Connect(a, b)
+	n.Connect(b, a)
+}
+
+// Unified returns the unified scheduler on a port.
+func (n *Network) Unified(p *topology.Port) *sched.Unified { return n.uni[p] }
+
+// Run advances the simulation by d seconds.
+func (n *Network) Run(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
+
+// Flow is an admitted flow: its route is installed, reservations (if
+// guaranteed) are in place, edge policing (if predicted) is armed, and a
+// meter records end-to-end queueing delays at the sink.
+type Flow struct {
+	ID       uint32
+	Path     []string
+	Class    packet.Class
+	Priority uint8
+
+	net        *Network
+	fixedDelay float64
+	policer    *tokenbucket.Bucket
+	policerCnt stats.Counter
+	meter      *stats.Recorder
+	delivered  int64
+	sinkTap    func(p *packet.Packet, queueing float64)
+	bound      float64
+}
+
+// Hops returns the number of inter-switch links on the flow's path.
+func (f *Flow) Hops() int { return len(f.Path) - 1 }
+
+// Bound returns the a priori delay bound advertised to this flow: the
+// Parekh-Gallager bound for guaranteed flows, the sum of per-switch class
+// targets for predicted flows, and +Inf for datagram flows.
+func (f *Flow) Bound() float64 { return f.bound }
+
+// Meter returns the recorder of end-to-end queueing delays (seconds).
+func (f *Flow) Meter() *stats.Recorder { return f.meter }
+
+// Delivered returns packets delivered to the sink.
+func (f *Flow) Delivered() int64 { return f.delivered }
+
+// PolicerStats returns edge-enforcement counts (predicted flows only).
+func (f *Flow) PolicerStats() stats.Counter { return f.policerCnt }
+
+// Tap registers a callback invoked at the sink with each delivered packet
+// and its end-to-end queueing delay (adaptive playback clients hook here).
+func (f *Flow) Tap(fn func(p *packet.Packet, queueing float64)) { f.sinkTap = fn }
+
+// Inject polices (predicted service), stamps service fields and injects the
+// packet at the flow's first switch. It reports whether the packet entered
+// the network. Sources use this as their Inject target.
+func (f *Flow) Inject(p *packet.Packet) bool {
+	now := f.net.eng.Now()
+	if f.policer != nil {
+		f.policerCnt.Total++
+		if !f.policer.Take(now, float64(p.Size)) {
+			// The paper drops or tags nonconforming packets at the
+			// first switch; we drop.
+			f.policerCnt.Dropped++
+			return false
+		}
+	}
+	p.FlowID = f.ID
+	p.Class = f.Class
+	p.Priority = f.Priority
+	f.net.topo.Inject(f.Path[0], p)
+	return true
+}
+
+func (n *Network) registerFlow(f *Flow) {
+	n.topo.InstallRoute(f.ID, f.Path)
+	f.fixedDelay = n.topo.FixedDelay(f.Path, n.cfg.MaxPacketBits)
+	f.meter = stats.NewRecorder()
+	last := n.topo.Node(f.Path[len(f.Path)-1])
+	last.SetSink(f.ID, func(p *packet.Packet) {
+		q := n.eng.Now() - p.CreatedAt - f.fixedDelay
+		if q < 0 {
+			q = 0
+		}
+		f.meter.Add(q)
+		f.delivered++
+		if f.sinkTap != nil {
+			f.sinkTap(p, q)
+		}
+	})
+	n.flows[f.ID] = f
+}
+
+// Flow returns an admitted flow by id, or nil.
+func (n *Network) Flow(id uint32) *Flow { return n.flows[id] }
+
+// AdvertisedPredictedBound is the a priori bound quoted to a predicted flow
+// of the given class over a path: the sum of the per-switch class targets
+// Dᵢ along the path (Section 7: "the network should not attempt to
+// characterize or control the service to great precision, and thus should
+// just use the sum of the Dᵢ's as the advertised bound").
+func (n *Network) AdvertisedPredictedBound(path []string, class int) float64 {
+	return float64(len(path)-1) * n.cfg.ClassTargets[class]
+}
+
+// RequestGuaranteed asks for guaranteed service along path with the given
+// spec. On success the clock rate is reserved at every hop.
+func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpec) (*Flow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := n.flows[id]; dup {
+		return nil, fmt.Errorf("core: flow %d already exists", id)
+	}
+	ports := n.topo.PathPorts(path)
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("core: guaranteed flow needs at least one link")
+	}
+	// Admission: never let reservations invade the datagram quota.
+	for _, pt := range ports {
+		u := n.uni[pt]
+		if u == nil {
+			return nil, fmt.Errorf("core: port %s does not run the unified scheduler", pt.Name())
+		}
+		if u.Reserved()+spec.ClockRate > (1-n.cfg.DatagramQuota)*n.cfg.LinkRate {
+			return nil, fmt.Errorf("core: link %s cannot reserve %v bits/s (reserved %v, quota %v)",
+				pt.Name(), spec.ClockRate, u.Reserved(), (1-n.cfg.DatagramQuota)*n.cfg.LinkRate)
+		}
+		if n.cfg.AdmissionControl {
+			if err := n.admitGuaranteed(pt, spec.ClockRate); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pt := range ports {
+		n.uni[pt].AddGuaranteed(id, spec.ClockRate)
+	}
+	f := &Flow{
+		ID:    id,
+		Path:  append([]string(nil), path...),
+		Class: packet.Guaranteed,
+		net:   n,
+		bound: PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits)),
+	}
+	n.registerFlow(f)
+	return f, nil
+}
+
+// RequestPredicted asks for predicted service along path. The requested
+// (D, L) pair selects the priority class: the flow lands in the highest
+// (most delayed-bounded) class whose advertised bound over this path does
+// not exceed D. Edge policing to (r, b) is armed on the returned flow.
+func (n *Network) RequestPredicted(id uint32, path []string, spec PredictedSpec) (*Flow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := n.flows[id]; dup {
+		return nil, fmt.Errorf("core: flow %d already exists", id)
+	}
+	class := n.classFor(path, spec.Delay)
+	if class < 0 {
+		return nil, fmt.Errorf("core: no predicted class can meet delay target %v over %d hops (largest advertised %v)",
+			spec.Delay, len(path)-1, n.AdvertisedPredictedBound(path, n.cfg.PredictedClasses-1))
+	}
+	return n.RequestPredictedClass(id, path, uint8(class), spec)
+}
+
+// RequestPredictedClass pins the flow to an explicit priority class,
+// matching the paper's Table 3 setup where flows are assigned to
+// Predicted-High / Predicted-Low directly.
+func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, spec PredictedSpec) (*Flow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := n.flows[id]; dup {
+		return nil, fmt.Errorf("core: flow %d already exists", id)
+	}
+	if int(class) >= n.cfg.PredictedClasses {
+		return nil, fmt.Errorf("core: class %d out of range (%d classes)", class, n.cfg.PredictedClasses)
+	}
+	ports := n.topo.PathPorts(path)
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("core: predicted flow needs at least one link")
+	}
+	if n.cfg.AdmissionControl {
+		for _, pt := range ports {
+			if err := n.admitPredicted(pt, spec, int(class)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n.notePredicted(ports, spec)
+	f := &Flow{
+		ID:       id,
+		Path:     append([]string(nil), path...),
+		Class:    packet.Predicted,
+		Priority: class,
+		net:      n,
+		policer:  tokenbucket.New(spec.TokenRate, spec.BucketBits),
+		bound:    n.AdvertisedPredictedBound(path, int(class)),
+	}
+	n.registerFlow(f)
+	return f, nil
+}
+
+// classFor returns the lowest-priority (cheapest) class whose advertised
+// bound still meets the delay target, or -1.
+func (n *Network) classFor(path []string, target float64) int {
+	for class := n.cfg.PredictedClasses - 1; class >= 0; class-- {
+		if n.AdvertisedPredictedBound(path, class) <= target {
+			return class
+		}
+	}
+	return -1
+}
+
+// AddDatagramFlow installs a best-effort flow (no commitment, no policing).
+func (n *Network) AddDatagramFlow(id uint32, path []string) (*Flow, error) {
+	if _, dup := n.flows[id]; dup {
+		return nil, fmt.Errorf("core: flow %d already exists", id)
+	}
+	f := &Flow{
+		ID:    id,
+		Path:  append([]string(nil), path...),
+		Class: packet.Datagram,
+		net:   n,
+		bound: -1,
+	}
+	n.registerFlow(f)
+	return f, nil
+}
+
+// Release removes a flow's reservations and routing state. Guaranteed flows
+// must have drained from the network (their WFQ queues empty at every hop).
+func (n *Network) Release(id uint32) {
+	f, ok := n.flows[id]
+	if !ok {
+		return
+	}
+	if f.Class == packet.Guaranteed {
+		for _, pt := range n.topo.PathPorts(f.Path) {
+			n.uni[pt].RemoveGuaranteed(id)
+		}
+	}
+	if f.Class == packet.Predicted {
+		n.unnotePredicted(n.topo.PathPorts(f.Path), f)
+	}
+	delete(n.flows, id)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationIsolationShape(t *testing.T) {
+	rows := AblationIsolation(RunConfig{Duration: 120, Seed: 11})
+	byDisc := map[Discipline]IsolationRow{}
+	for _, r := range rows {
+		byDisc[r.Scheduler] = r
+	}
+	wfq, fifo := byDisc[DiscWFQ], byDisc[DiscFIFO]
+	// Under WFQ the burster's tail delay is much worse than its peers'
+	// (isolation assigns the burst's jitter to the burster).
+	if wfq.Burster.P999 < 1.5*wfq.Others.P999 {
+		t.Fatalf("WFQ burster p999 %.1f vs others %.1f: isolation not visible",
+			wfq.Burster.P999, wfq.Others.P999)
+	}
+	// Under FIFO the two are comparable (sharing splits the jitter).
+	if fifo.Burster.P999 > 1.5*fifo.Others.P999 {
+		t.Fatalf("FIFO burster p999 %.1f vs others %.1f: sharing not visible",
+			fifo.Burster.P999, fifo.Others.P999)
+	}
+	// And the burster itself fares much better under FIFO.
+	if fifo.Burster.P999 >= wfq.Burster.P999 {
+		t.Fatalf("burster under FIFO (%.1f) should beat WFQ (%.1f)",
+			fifo.Burster.P999, wfq.Burster.P999)
+	}
+}
+
+func TestAblationHopsShape(t *testing.T) {
+	rows := AblationHops(RunConfig{Duration: 120, Seed: 11}, 5)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// At one hop FIFO and FIFO+ coincide (no offsets yet).
+	if d := first.P999[DiscFIFO] - first.P999[DiscFIFOPlus]; d > 3 || d < -3 {
+		t.Fatalf("1-hop FIFO %.1f vs FIFO+ %.1f should be close",
+			first.P999[DiscFIFO], first.P999[DiscFIFOPlus])
+	}
+	// Jitter growth over the sweep: FIFO+ grows the least.
+	growth := func(d Discipline) float64 { return last.P999[d] - first.P999[d] }
+	if !(growth(DiscFIFOPlus) < growth(DiscFIFO)) {
+		t.Fatalf("FIFO+ growth %.1f not below FIFO %.1f", growth(DiscFIFOPlus), growth(DiscFIFO))
+	}
+}
+
+func TestAblationAdmissionShape(t *testing.T) {
+	rows := AblationAdmission(RunConfig{Duration: 300, Seed: 11}, 40)
+	byPolicy := map[string]AdmissionResult{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	m, w := byPolicy["measurement"], byPolicy["worst-case"]
+	// The Section 9 claim: measurement-based admission carries more
+	// flows and achieves higher real-time utilization than worst-case
+	// admission, without blowing the delay targets.
+	if m.Admitted <= w.Admitted {
+		t.Fatalf("measurement admitted %d <= worst-case %d", m.Admitted, w.Admitted)
+	}
+	if m.RealTimeUtil <= w.RealTimeUtil {
+		t.Fatalf("measurement util %.3f <= worst-case %.3f", m.RealTimeUtil, w.RealTimeUtil)
+	}
+	missRate := func(r AdmissionResult) float64 {
+		if r.Delivered == 0 {
+			return 0
+		}
+		return float64(r.DelayTargetMisses) / float64(r.Delivered)
+	}
+	if missRate(m) > 0.001 {
+		t.Fatalf("measurement policy misses its targets at %.5f", missRate(m))
+	}
+}
+
+func TestAblationPlaybackShape(t *testing.T) {
+	r := AblationPlayback(RunConfig{Duration: 120, Seed: 11})
+	// The adaptive client's play-back point sits far below the a priori
+	// bound — near the post facto bound (paper Sections 2-3).
+	if r.AdaptivePointMS >= 0.7*r.APrioriBoundMS {
+		t.Fatalf("adaptive point %.1f ms not clearly below a priori bound %.1f ms",
+			r.AdaptivePointMS, r.APrioriBoundMS)
+	}
+	if r.AdaptivePointMS < r.Delay.Mean {
+		t.Fatalf("adaptive point %.1f below mean delay %.1f — implausible", r.AdaptivePointMS, r.Delay.Mean)
+	}
+	// The rigid client holds the bound and loses (almost) nothing; the
+	// adaptive one trades a small loss rate for the smaller point.
+	if r.RigidLossRate > 0.001 {
+		t.Fatalf("rigid loss rate %.5f too high", r.RigidLossRate)
+	}
+	if r.AdaptLossRate > 0.02 {
+		t.Fatalf("adaptive loss rate %.5f too high", r.AdaptLossRate)
+	}
+}
+
+func TestAblationDiscardShape(t *testing.T) {
+	rows := AblationDiscard(RunConfig{Duration: 120, Seed: 11}, []float64{0, 10})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	off, on := rows[0], rows[1]
+	if off.Discarded != 0 {
+		t.Fatalf("threshold-off run discarded %d packets", off.Discarded)
+	}
+	if on.Discarded == 0 {
+		t.Fatal("tight threshold discarded nothing")
+	}
+	// Discarding late packets tightens the delivered-delay tail.
+	if on.Max >= off.Max {
+		t.Fatalf("discard max %.1f not below baseline %.1f", on.Max, off.Max)
+	}
+}
+
+func TestAblationFormatters(t *testing.T) {
+	cfg := RunConfig{Duration: 15, Seed: 1}
+	if s := FormatIsolation(AblationIsolation(cfg)); !strings.Contains(s, "burster") {
+		t.Fatal(s)
+	}
+	if s := FormatHops(AblationHops(cfg, 2)); !strings.Contains(s, "hops") {
+		t.Fatal(s)
+	}
+	if s := FormatAdmission(AblationAdmission(RunConfig{Duration: 60, Seed: 1}, 10)); !strings.Contains(s, "measurement") {
+		t.Fatal(s)
+	}
+	if s := FormatPlayback(AblationPlayback(cfg)); !strings.Contains(s, "adaptive") {
+		t.Fatal(s)
+	}
+	if s := FormatDiscard(AblationDiscard(cfg, []float64{0})); !strings.Contains(s, "threshold") {
+		t.Fatal(s)
+	}
+}

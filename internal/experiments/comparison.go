@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+	"ispn/internal/source"
+	"ispn/internal/stats"
+	"ispn/internal/topology"
+)
+
+// ComparisonRow is one discipline's aggregate result on the shared-link
+// workload, with the per-flow view split out for the isolation analysis.
+type ComparisonRow struct {
+	Name      string
+	Aggregate DelayStats
+	// Sample is flow 1's own statistics.
+	Sample DelayStats
+	// WorkConserving is false for the framing/regulating disciplines.
+	WorkConserving bool
+}
+
+// CompareDisciplines runs the Table-1 workload (10 Markov flows, one link)
+// under the full scheduling zoo — the paper's Section 11 related work made
+// concrete: WFQ and VirtualClock (time-stamp isolation), Delay-EDD (deadline
+// isolation), FIFO and DRR (sharing), Stop-and-Go (framing,
+// non-work-conserving). The paper's taxonomy predicts: the sharing
+// disciplines have the lowest tail jitter, the isolating disciplines the
+// strongest per-flow protection, and the framing discipline the highest
+// mean delay with tightly clustered per-hop delays.
+func CompareDisciplines(cfg RunConfig) []ComparisonRow {
+	cfg.fill()
+	flows := SingleLinkFlows(10)
+	specs := []struct {
+		name string
+		wc   bool
+		mk   func() sched.Scheduler
+	}{
+		{"FIFO", true, func() sched.Scheduler { return sched.NewFIFO() }},
+		{"FIFO+", true, func() sched.Scheduler { return sched.NewFIFOPlus(0) }},
+		{"WFQ", true, func() sched.Scheduler {
+			w := sched.NewWFQ(LinkRate)
+			for _, f := range flows {
+				w.AddFlow(f.ID, LinkRate/float64(len(flows)))
+			}
+			return w
+		}},
+		{"VirtualClock", true, func() sched.Scheduler {
+			v := sched.NewVirtualClock()
+			for _, f := range flows {
+				v.AddFlow(f.ID, LinkRate/float64(len(flows)))
+			}
+			return v
+		}},
+		{"Delay-EDD", true, func() sched.Scheduler {
+			e := sched.NewDelayEDD()
+			for _, f := range flows {
+				// Peak rate 2A, local budget comparable to the
+				// observed FIFO tail.
+				e.AddFlow(f.ID, PeakFactor*AvgRate, 0.030)
+			}
+			return e
+		}},
+		{"DRR", true, func() sched.Scheduler { return sched.NewDRR(PacketBits, true) }},
+		{"Stop-and-Go", false, func() sched.Scheduler {
+			// Frame of 10 packet times.
+			return sched.NewStopAndGo(0.010)
+		}},
+	}
+	var rows []ComparisonRow
+	for _, spec := range specs {
+		eng := sim.New()
+		topo := topology.NewNetwork(eng)
+		topo.AddNode("A")
+		topo.AddNode("B")
+		topo.AddLink("A", "B", spec.mk(), LinkRate, 0)
+		rec := map[uint32]*stats.Recorder{}
+		for _, f := range flows {
+			f := f
+			topo.InstallRoute(f.ID, f.Path)
+			r := stats.NewRecorder()
+			rec[f.ID] = r
+			fixed := topo.FixedDelay(f.Path, PacketBits)
+			topo.Node("B").SetSink(f.ID, func(p *packet.Packet) {
+				q := eng.Now() - p.CreatedAt - fixed
+				if q < 0 {
+					q = 0
+				}
+				r.Add(q)
+			})
+			src := source.NewPoliced(source.NewMarkov(source.MarkovConfig{
+				FlowID: f.ID, Class: packet.Predicted, SizeBits: PacketBits,
+				PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
+				RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("cmp-%d", f.ID)),
+			}), AvgRate, BucketSize)
+			src.Start(eng, func(p *packet.Packet) { topo.Inject("A", p) })
+		}
+		eng.RunUntil(cfg.Duration)
+		agg := newMergedRecorder()
+		for _, f := range flows {
+			agg.absorb(rec[f.ID])
+		}
+		rows = append(rows, ComparisonRow{
+			Name:           spec.name,
+			Aggregate:      agg.stats(),
+			Sample:         toDelayStats(rec[1]),
+			WorkConserving: spec.wc,
+		})
+	}
+	return rows
+}
+
+// FormatComparison renders the discipline comparison.
+func FormatComparison(rows []ComparisonRow) string {
+	var b strings.Builder
+	b.WriteString("Scheduling discipline comparison (Table-1 workload, aggregate over 10 flows)\n")
+	fmt.Fprintf(&b, "%-14s %8s %10s %8s %6s\n", "discipline", "mean", "99.9 %ile", "max", "WC")
+	for _, r := range rows {
+		wc := "yes"
+		if !r.WorkConserving {
+			wc = "no"
+		}
+		fmt.Fprintf(&b, "%-14s %8.2f %10.2f %8.2f %6s\n",
+			r.Name, r.Aggregate.Mean, r.Aggregate.P999, r.Aggregate.Max, wc)
+	}
+	return b.String()
+}

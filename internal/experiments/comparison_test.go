@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareDisciplines(t *testing.T) {
+	rows := CompareDisciplines(RunConfig{Duration: 120, Seed: 9})
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// All work-conserving disciplines share the same mean (uniform
+	// packets conserve total backlog).
+	fifoMean := byName["FIFO"].Aggregate.Mean
+	for _, name := range []string{"FIFO+", "WFQ", "VirtualClock", "Delay-EDD", "DRR"} {
+		if d := byName[name].Aggregate.Mean - fifoMean; d > 0.5 || d < -0.5 {
+			t.Errorf("%s mean %.2f deviates from FIFO %.2f", name, byName[name].Aggregate.Mean, fifoMean)
+		}
+	}
+	// Stop-and-Go is non-work-conserving: clearly higher mean (frame
+	// holding), roughly + one frame (10 packet times).
+	sg := byName["Stop-and-Go"]
+	if sg.WorkConserving {
+		t.Error("Stop-and-Go marked work conserving")
+	}
+	if sg.Aggregate.Mean < fifoMean+4 {
+		t.Errorf("Stop-and-Go mean %.2f not clearly above FIFO %.2f", sg.Aggregate.Mean, fifoMean)
+	}
+	// Single hop: FIFO+ degenerates to FIFO exactly.
+	if byName["FIFO+"].Aggregate.P999 != byName["FIFO"].Aggregate.P999 {
+		t.Error("FIFO+ != FIFO at a single hop")
+	}
+	// The sharing disciplines beat the time-stamp isolators on tail
+	// jitter for this homogeneous aggregate (the paper's Section 5
+	// argument).
+	if byName["FIFO"].Aggregate.P999 >= byName["WFQ"].Aggregate.P999 {
+		t.Errorf("FIFO p999 %.1f not below WFQ %.1f",
+			byName["FIFO"].Aggregate.P999, byName["WFQ"].Aggregate.P999)
+	}
+	if byName["FIFO"].Aggregate.P999 >= byName["VirtualClock"].Aggregate.P999 {
+		t.Errorf("FIFO p999 %.1f not below VirtualClock %.1f",
+			byName["FIFO"].Aggregate.P999, byName["VirtualClock"].Aggregate.P999)
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	rows := CompareDisciplines(RunConfig{Duration: 15, Seed: 9})
+	s := FormatComparison(rows)
+	for _, frag := range []string{"Stop-and-Go", "Delay-EDD", "VirtualClock"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1LayoutMatchesAppendix(t *testing.T) {
+	if err := ValidateFigure1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1FlowCount(t *testing.T) {
+	if got := len(Figure1Flows()); got != 22 {
+		t.Fatalf("%d flows, want 22", got)
+	}
+}
+
+func TestFigure1FlowIDsUnique(t *testing.T) {
+	seen := map[uint32]bool{}
+	for _, f := range Figure1Flows() {
+		if seen[f.ID] {
+			t.Fatalf("duplicate flow id %d", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestFigure1AllPathsFollowChain(t *testing.T) {
+	idx := map[string]int{}
+	for i, n := range Figure1Nodes() {
+		idx[n] = i
+	}
+	for _, f := range Figure1Flows() {
+		for i := 0; i < len(f.Path)-1; i++ {
+			if idx[f.Path[i+1]] != idx[f.Path[i]]+1 {
+				t.Fatalf("flow %d path %v is not a forward chain segment", f.ID, f.Path)
+			}
+		}
+	}
+}
+
+func TestFlowsOnLink(t *testing.T) {
+	fs := Figure1Flows()
+	l4 := FlowsOnLink(fs, "S4", "S5")
+	want := map[uint32]bool{F401: true, F402: true, F303: true, F304: true,
+		F203: true, F204: true, F109: true, F110: true, F111: true, F112: true}
+	if len(l4) != 10 {
+		t.Fatalf("L4 carries %d flows", len(l4))
+	}
+	for _, f := range l4 {
+		if !want[f.ID] {
+			t.Fatalf("unexpected flow %d on L4", f.ID)
+		}
+	}
+	if n := len(FlowsOnLink(fs, "S5", "S4")); n != 0 {
+		t.Fatalf("reverse link should carry no flows, got %d", n)
+	}
+}
+
+func TestTable3AssignmentCensus(t *testing.T) {
+	assign := Table3Assignment()
+	if len(assign) != 22 {
+		t.Fatalf("assignment covers %d flows, want 22", len(assign))
+	}
+	count := map[ServiceKind]int{}
+	for _, k := range assign {
+		count[k]++
+	}
+	if count[GuaranteedPeak] != 3 || count[GuaranteedAvg] != 2 ||
+		count[PredictedHigh] != 7 || count[PredictedLow] != 10 {
+		t.Fatalf("census %v, want 3/2/7/10", count)
+	}
+	// Paper: each link carries 2 G-Peak, 1 G-Avg, 3 P-High, 4 P-Low.
+	fs := Figure1Flows()
+	for _, lk := range Figure1Links() {
+		per := map[ServiceKind]int{}
+		for _, f := range FlowsOnLink(fs, lk[0], lk[1]) {
+			per[assign[f.ID]]++
+		}
+		if per[GuaranteedPeak] != 2 || per[GuaranteedAvg] != 1 ||
+			per[PredictedHigh] != 3 || per[PredictedLow] != 4 {
+			t.Fatalf("link %v census %v, want 2/1/3/4", lk, per)
+		}
+	}
+}
+
+func TestSingleLinkFlows(t *testing.T) {
+	fs := SingleLinkFlows(10)
+	if len(fs) != 10 {
+		t.Fatalf("%d flows", len(fs))
+	}
+	for _, f := range fs {
+		if f.Hops() != 1 {
+			t.Fatalf("flow %d has %d hops", f.ID, f.Hops())
+		}
+	}
+}
+
+func TestFigure1Diagram(t *testing.T) {
+	d := Figure1Diagram()
+	for _, frag := range []string{"S-1", "S-5", "Host-1", "1 Mbit/s"} {
+		if !strings.Contains(d, frag) {
+			t.Fatalf("diagram missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "ispn/internal/stats"
+
+// mergedRecorder unions several recorders' sample sets so aggregate
+// percentiles can be computed across flows.
+type mergedRecorder struct {
+	r *stats.Recorder
+}
+
+func newMergedRecorder() *mergedRecorder {
+	return &mergedRecorder{r: stats.NewRecorder()}
+}
+
+func (m *mergedRecorder) absorb(src *stats.Recorder) {
+	for _, x := range src.Samples() {
+		m.r.Add(x)
+	}
+}
+
+func (m *mergedRecorder) stats() DelayStats { return toDelayStats(m.r) }

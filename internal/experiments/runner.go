@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+	"ispn/internal/source"
+	"ispn/internal/stats"
+	"ispn/internal/topology"
+)
+
+// Discipline selects the per-link scheduler for the plain (non-unified)
+// experiments of Tables 1 and 2 and the ablations.
+type Discipline string
+
+// The disciplines compared in the paper and ablations.
+const (
+	DiscFIFO     Discipline = "FIFO"
+	DiscWFQ      Discipline = "WFQ"
+	DiscFIFOPlus Discipline = "FIFO+"
+	DiscRR       Discipline = "RR"
+	DiscVC       Discipline = "VirtualClock"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// Duration is simulated seconds (paper: 600).
+	Duration float64
+	// Seed drives every random stream of the run.
+	Seed int64
+}
+
+func (c *RunConfig) fill() {
+	if c.Duration == 0 {
+		c.Duration = 600
+	}
+}
+
+// DelayStats summarizes one flow's end-to-end queueing delays in packet
+// transmission times (ms).
+type DelayStats struct {
+	Mean float64
+	P999 float64
+	Max  float64
+	N    int
+}
+
+func toDelayStats(r *stats.Recorder) DelayStats {
+	return DelayStats{
+		Mean: r.Mean() * UnitMS,
+		P999: r.Percentile(0.999) * UnitMS,
+		Max:  r.Max() * UnitMS,
+		N:    r.Count(),
+	}
+}
+
+// plainRun is a single simulation with one scheduling discipline on every
+// link and the paper's Markov sources on every flow.
+type plainRun struct {
+	eng   *sim.Engine
+	topo  *topology.Network
+	rec   map[uint32]*stats.Recorder
+	fixed map[uint32]float64
+}
+
+// newScheduler builds a scheduler of the given discipline for one link.
+// WFQ uses equal clock rates across the link's flows, as the paper does in
+// Tables 1 and 2.
+func newScheduler(d Discipline, flowsHere []FlowPath) sched.Scheduler {
+	switch d {
+	case DiscFIFO:
+		return sched.NewFIFO()
+	case DiscFIFOPlus:
+		return sched.NewFIFOPlus(0)
+	case DiscRR:
+		return sched.NewDRR(PacketBits, true)
+	case DiscWFQ:
+		w := sched.NewWFQ(LinkRate)
+		share := LinkRate / float64(len(flowsHere))
+		for _, f := range flowsHere {
+			w.AddFlow(f.ID, share)
+		}
+		return w
+	case DiscVC:
+		v := sched.NewVirtualClock()
+		share := LinkRate / float64(len(flowsHere))
+		for _, f := range flowsHere {
+			v.AddFlow(f.ID, share)
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("experiments: unknown discipline %q", d))
+	}
+}
+
+// runPlain simulates flows over the given node/link layout under discipline
+// d and returns per-flow queueing delay recorders.
+func runPlain(d Discipline, nodes []string, links [][2]string, flows []FlowPath, cfg RunConfig) *plainRun {
+	cfg.fill()
+	eng := sim.New()
+	topo := topology.NewNetwork(eng)
+	for _, n := range nodes {
+		topo.AddNode(n)
+	}
+	for _, lk := range links {
+		topo.AddLink(lk[0], lk[1], newScheduler(d, FlowsOnLink(flows, lk[0], lk[1])), LinkRate, 0)
+	}
+	run := &plainRun{
+		eng:   eng,
+		topo:  topo,
+		rec:   make(map[uint32]*stats.Recorder),
+		fixed: make(map[uint32]float64),
+	}
+	for _, f := range flows {
+		f := f
+		topo.InstallRoute(f.ID, f.Path)
+		rec := stats.NewRecorder()
+		run.rec[f.ID] = rec
+		run.fixed[f.ID] = topo.FixedDelay(f.Path, PacketBits)
+		last := topo.Node(f.Path[len(f.Path)-1])
+		last.SetSink(f.ID, func(p *packet.Packet) {
+			q := eng.Now() - p.CreatedAt - run.fixed[f.ID]
+			if q < 0 {
+				q = 0
+			}
+			rec.Add(q)
+		})
+		src := source.NewPoliced(source.NewMarkov(source.MarkovConfig{
+			FlowID:   f.ID,
+			Class:    packet.Predicted,
+			SizeBits: PacketBits,
+			PeakRate: PeakFactor * AvgRate,
+			AvgRate:  AvgRate,
+			Burst:    MeanBurst,
+			RNG:      sim.DeriveRNG(cfg.Seed, fmt.Sprintf("markov-%d", f.ID)),
+		}), AvgRate, BucketSize)
+		src.Start(eng, func(p *packet.Packet) { topo.Inject(f.Path[0], p) })
+	}
+	eng.RunUntil(cfg.Duration)
+	return run
+}
+
+// utilization returns the lifetime utilization of link from->to.
+func (r *plainRun) utilization(from, to string, dur float64) float64 {
+	return r.topo.Node(from).Port(to).TotalUtilization(dur)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ispn/internal/packet"
+	"ispn/internal/sim"
+	"ispn/internal/source"
+	"ispn/internal/stats"
+	"ispn/internal/topology"
+)
+
+// SweepPoint is one offered-load level of the utilization sweep.
+type SweepPoint struct {
+	Flows       int
+	Utilization float64
+	P999        map[Discipline]float64 // aggregate 99.9%ile, ms
+	Mean        map[Discipline]float64
+}
+
+// SweepLoad grows the number of Table-1 Markov flows on one link from low
+// to overload and records the aggregate delay statistics under each
+// discipline. This is the delay-vs-utilization curve implied throughout the
+// paper's argument: sharing's advantage over isolation grows as the link
+// fills, and every discipline's tail diverges as utilization approaches 1.
+func SweepLoad(cfg RunConfig, flowCounts []int, disciplines []Discipline) []SweepPoint {
+	cfg.fill()
+	if len(flowCounts) == 0 {
+		flowCounts = []int{4, 6, 8, 10, 11}
+	}
+	if len(disciplines) == 0 {
+		disciplines = []Discipline{DiscFIFO, DiscWFQ, DiscFIFOPlus}
+	}
+	var out []SweepPoint
+	for _, nf := range flowCounts {
+		pt := SweepPoint{
+			Flows: nf,
+			P999:  map[Discipline]float64{},
+			Mean:  map[Discipline]float64{},
+		}
+		flows := SingleLinkFlows(nf)
+		for _, d := range disciplines {
+			run := runPlain(d, []string{"A", "B"}, [][2]string{{"A", "B"}}, flows, cfg)
+			agg := mergeRecorders(run, flows)
+			pt.P999[d] = agg.P999
+			pt.Mean[d] = agg.Mean
+			pt.Utilization = run.utilization("A", "B", cfg.Duration)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// FormatSweep renders the load sweep.
+func FormatSweep(points []SweepPoint, disciplines []Discipline) string {
+	if len(disciplines) == 0 {
+		disciplines = []Discipline{DiscFIFO, DiscWFQ, DiscFIFOPlus}
+	}
+	var b strings.Builder
+	b.WriteString("Load sweep: aggregate delay vs utilization, single link\n")
+	fmt.Fprintf(&b, "%6s %6s", "flows", "util")
+	for _, d := range disciplines {
+		fmt.Fprintf(&b, " |%12s", d)
+	}
+	b.WriteString("   (mean / 99.9%ile ms)\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d %5.1f%%", p.Flows, 100*p.Utilization)
+		for _, d := range disciplines {
+			fmt.Fprintf(&b, " |%5.2f %6.1f", p.Mean[d], p.P999[d])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DelayDistribution runs the Table-1 workload under one discipline and
+// returns the aggregate delay histogram — the full distribution behind the
+// summary rows, rendered by `ispnsim dist`.
+func DelayDistribution(d Discipline, cfg RunConfig) *stats.Histogram {
+	cfg.fill()
+	flows := SingleLinkFlows(10)
+	eng := sim.New()
+	topo := topology.NewNetwork(eng)
+	topo.AddNode("A")
+	topo.AddNode("B")
+	topo.AddLink("A", "B", newScheduler(d, flows), LinkRate, 0)
+	h := stats.NewDelayHistogram()
+	for _, f := range flows {
+		f := f
+		topo.InstallRoute(f.ID, f.Path)
+		fixed := topo.FixedDelay(f.Path, PacketBits)
+		topo.Node("B").SetSink(f.ID, func(p *packet.Packet) {
+			q := eng.Now() - p.CreatedAt - fixed
+			if q < 0 {
+				q = 0
+			}
+			h.Add(q)
+		})
+		src := source.NewPoliced(source.NewMarkov(source.MarkovConfig{
+			FlowID: f.ID, Class: packet.Predicted, SizeBits: PacketBits,
+			PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
+			RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("dist-%d", f.ID)),
+		}), AvgRate, BucketSize)
+		src.Start(eng, func(p *packet.Packet) { topo.Inject("A", p) })
+	}
+	eng.RunUntil(cfg.Duration)
+	return h
+}

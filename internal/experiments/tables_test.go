@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The table tests run shortened (but still substantial) versions of the
+// paper's 600-second experiments and assert the qualitative claims — the
+// orderings and magnitudes the paper's argument rests on — rather than its
+// exact sampled values.
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(RunConfig{Duration: 180, Seed: 7})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	wfq, fifo := rows[0], rows[1]
+	if wfq.Scheduler != DiscWFQ || fifo.Scheduler != DiscFIFO {
+		t.Fatalf("row order %v/%v", wfq.Scheduler, fifo.Scheduler)
+	}
+	// Means nearly identical (paper: 3.16 vs 3.17).
+	if d := wfq.AllFlows.Mean - fifo.AllFlows.Mean; d > 1 || d < -1 {
+		t.Fatalf("means diverge: WFQ %.2f vs FIFO %.2f", wfq.AllFlows.Mean, fifo.AllFlows.Mean)
+	}
+	// Mean magnitude ~3 packet times.
+	if wfq.AllFlows.Mean < 1 || wfq.AllFlows.Mean > 8 {
+		t.Fatalf("WFQ mean %.2f outside plausible range", wfq.AllFlows.Mean)
+	}
+	// FIFO's 99.9th percentile is much smaller (paper: 34.7 vs 53.9).
+	if fifo.AllFlows.P999 >= wfq.AllFlows.P999*0.85 {
+		t.Fatalf("FIFO p999 %.2f not clearly below WFQ %.2f", fifo.AllFlows.P999, wfq.AllFlows.P999)
+	}
+	// Utilization ~83.5%.
+	for _, r := range rows {
+		if r.Utilization < 0.80 || r.Utilization > 0.87 {
+			t.Fatalf("%s utilization %.3f, want ~0.835", r.Scheduler, r.Utilization)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(RunConfig{Duration: 180, Seed: 7})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byDisc := map[Discipline]Table2Row{}
+	for _, r := range rows {
+		byDisc[r.Scheduler] = r
+	}
+	for _, d := range []Discipline{DiscWFQ, DiscFIFO, DiscFIFOPlus} {
+		r, ok := byDisc[d]
+		if !ok {
+			t.Fatalf("missing %s row", d)
+		}
+		// Mean grows with path length for all disciplines.
+		for k := 1; k < 4; k++ {
+			if r.PerPath[k].Mean <= r.PerPath[k-1].Mean {
+				t.Fatalf("%s mean not increasing with path length: %+v", d, r.PerPath)
+			}
+		}
+	}
+	// The paper's headline: at path length 4, FIFO+ has the smallest
+	// 99.9th percentile, and its growth from 1 hop to 4 hops is the
+	// smallest of the three.
+	p4 := func(d Discipline) float64 { return byDisc[d].PerPath[3].P999 }
+	if !(p4(DiscFIFOPlus) < p4(DiscFIFO) && p4(DiscFIFOPlus) < p4(DiscWFQ)) {
+		t.Fatalf("FIFO+ p999 at 4 hops (%.1f) not below FIFO (%.1f) and WFQ (%.1f)",
+			p4(DiscFIFOPlus), p4(DiscFIFO), p4(DiscWFQ))
+	}
+	growth := func(d Discipline) float64 { return byDisc[d].PerPath[3].P999 - byDisc[d].PerPath[0].P999 }
+	if !(growth(DiscFIFOPlus) < growth(DiscFIFO)) {
+		t.Fatalf("FIFO+ jitter growth %.1f not below FIFO %.1f", growth(DiscFIFOPlus), growth(DiscFIFO))
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3(RunConfig{Duration: 180, Seed: 7})
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(res.Rows))
+	}
+	// Every guaranteed sample obeys the full packetized Parekh-Gallager
+	// bound (and the paper-printed bound within one packet time per hop).
+	for _, r := range res.Rows {
+		if r.PGBound == 0 {
+			continue
+		}
+		if r.Stats.Max > r.PGBoundFull+0.001 {
+			t.Fatalf("%s path %d max %.2f exceeds full P-G bound %.2f",
+				r.Kind, r.PathLen, r.Stats.Max, r.PGBoundFull)
+		}
+	}
+	// Orderings: Peak << Average, High << Low (aggregate 99.9%).
+	k := res.ByKind
+	if !(k[GuaranteedPeak].P999 < k[GuaranteedAvg].P999) {
+		t.Fatalf("Guaranteed-Peak p999 %.1f not below Guaranteed-Avg %.1f",
+			k[GuaranteedPeak].P999, k[GuaranteedAvg].P999)
+	}
+	if !(k[PredictedHigh].P999 < k[PredictedLow].P999) {
+		t.Fatalf("Predicted-High p999 %.1f not below Predicted-Low %.1f",
+			k[PredictedHigh].P999, k[PredictedLow].P999)
+	}
+	// Utilization: > 97% total, ~83.5% real-time on every link.
+	for i := range res.LinkUtil {
+		if res.LinkUtil[i] < 0.97 {
+			t.Fatalf("link %d utilization %.3f, want > 0.97", i+1, res.LinkUtil[i])
+		}
+		if res.RealTimeUtil[i] < 0.80 || res.RealTimeUtil[i] > 0.87 {
+			t.Fatalf("link %d real-time utilization %.3f, want ~0.835", i+1, res.RealTimeUtil[i])
+		}
+	}
+	// Datagram drops stay small and real-time traffic loses nothing.
+	if res.DatagramDropRate > 0.02 {
+		t.Fatalf("datagram drop rate %.4f, want <= 2%%", res.DatagramDropRate)
+	}
+	if res.RealTimeDropped != 0 {
+		t.Fatalf("%d real-time packets dropped", res.RealTimeDropped)
+	}
+	// TCP fills the leftover ~16%: each connection well above 100 kbit/s.
+	for i, g := range res.TCPGoodputBits {
+		if g < 1e5 {
+			t.Fatalf("TCP %d goodput %.0f too low", i+1, g)
+		}
+	}
+}
+
+func TestTable3Determinism(t *testing.T) {
+	a := Table3(RunConfig{Duration: 20, Seed: 3})
+	b := Table3(RunConfig{Duration: 20, Seed: 3})
+	for i := range a.Rows {
+		if a.Rows[i].Stats != b.Rows[i].Stats {
+			t.Fatalf("same seed, different results: %+v vs %+v", a.Rows[i], b.Rows[i])
+		}
+	}
+	c := Table3(RunConfig{Duration: 20, Seed: 4})
+	same := true
+	for i := range a.Rows {
+		if a.Rows[i].Stats != c.Rows[i].Stats {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cfg := RunConfig{Duration: 15, Seed: 1}
+	if s := FormatTable1(Table1(cfg)); !strings.Contains(s, "FIFO") || !strings.Contains(s, "WFQ") {
+		t.Fatalf("FormatTable1: %s", s)
+	}
+	if s := FormatTable2(Table2(cfg)); !strings.Contains(s, "FIFO+") {
+		t.Fatalf("FormatTable2: %s", s)
+	}
+	if s := FormatTable3(Table3(cfg)); !strings.Contains(s, "Guaranteed-Peak") || !strings.Contains(s, "P-G bound") {
+		t.Fatalf("FormatTable3: %s", s)
+	}
+}

@@ -1,0 +1,109 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format for the ISPN header. All multi-byte fields are big-endian
+// (network byte order).
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     class
+//	2       1     priority
+//	3       1     hops
+//	4       4     flow id
+//	8       8     sequence number
+//	16      4     payload length in bits
+//	20      8     jitter offset, signed nanoseconds
+//	28      8     created-at timestamp, nanoseconds since epoch
+//
+// The jitter offset is the control field the paper proposes carrying in every
+// packet so that FIFO+ switches can correlate sharing across hops; it is
+// encoded in fixed point (nanoseconds) rather than floating point, as a real
+// header would be.
+const (
+	// Version is the current header version.
+	Version = 1
+	// HeaderLen is the encoded header size in bytes.
+	HeaderLen = 36
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("packet: buffer too short for header")
+	ErrBadVersion  = errors.New("packet: unsupported header version")
+	ErrBadClass    = errors.New("packet: invalid class")
+)
+
+// MarshalHeader encodes p's header fields into buf, which must be at least
+// HeaderLen bytes, and returns the number of bytes written. Timestamps and
+// offsets are rounded to nanoseconds.
+func MarshalHeader(p *Packet, buf []byte) (int, error) {
+	if len(buf) < HeaderLen {
+		return 0, ErrShortBuffer
+	}
+	if p.Class > Datagram {
+		return 0, ErrBadClass
+	}
+	buf[0] = Version
+	buf[1] = byte(p.Class)
+	buf[2] = p.Priority
+	buf[3] = p.Hops
+	binary.BigEndian.PutUint32(buf[4:], p.FlowID)
+	binary.BigEndian.PutUint64(buf[8:], p.Seq)
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.Size))
+	binary.BigEndian.PutUint64(buf[20:], uint64(toNanos(p.JitterOffset)))
+	binary.BigEndian.PutUint64(buf[28:], uint64(toNanos(p.CreatedAt)))
+	return HeaderLen, nil
+}
+
+// AppendHeader appends the encoded header to dst and returns the extended
+// slice.
+func AppendHeader(p *Packet, dst []byte) ([]byte, error) {
+	var tmp [HeaderLen]byte
+	if _, err := MarshalHeader(p, tmp[:]); err != nil {
+		return dst, err
+	}
+	return append(dst, tmp[:]...), nil
+}
+
+// UnmarshalHeader decodes a header from buf into p, overwriting the header
+// fields and leaving scheduler scratch state (Tag, ArrivedAt, Payload) alone.
+// It returns the number of bytes consumed.
+func UnmarshalHeader(buf []byte, p *Packet) (int, error) {
+	if len(buf) < HeaderLen {
+		return 0, ErrShortBuffer
+	}
+	if buf[0] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+	}
+	if buf[1] > byte(Datagram) {
+		return 0, fmt.Errorf("%w: %d", ErrBadClass, buf[1])
+	}
+	p.Class = Class(buf[1])
+	p.Priority = buf[2]
+	p.Hops = buf[3]
+	p.FlowID = binary.BigEndian.Uint32(buf[4:])
+	p.Seq = binary.BigEndian.Uint64(buf[8:])
+	p.Size = int(binary.BigEndian.Uint32(buf[16:]))
+	p.JitterOffset = fromNanos(int64(binary.BigEndian.Uint64(buf[20:])))
+	p.CreatedAt = fromNanos(int64(binary.BigEndian.Uint64(buf[28:])))
+	return HeaderLen, nil
+}
+
+func toNanos(sec float64) int64 {
+	ns := math.Round(sec * 1e9)
+	if ns > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if ns < math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(ns)
+}
+
+func fromNanos(ns int64) float64 { return float64(ns) / 1e9 }

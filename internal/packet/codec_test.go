@@ -1,0 +1,164 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := &Packet{
+		FlowID:       42,
+		Seq:          123456789,
+		Size:         1000,
+		Class:        Predicted,
+		Priority:     2,
+		Hops:         3,
+		CreatedAt:    17.25,
+		JitterOffset: -0.003125,
+	}
+	var buf [HeaderLen]byte
+	n, err := MarshalHeader(in, buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen {
+		t.Fatalf("MarshalHeader wrote %d bytes, want %d", n, HeaderLen)
+	}
+	var out Packet
+	m, err := UnmarshalHeader(buf[:], &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != HeaderLen {
+		t.Fatalf("UnmarshalHeader consumed %d bytes, want %d", m, HeaderLen)
+	}
+	if out.FlowID != in.FlowID || out.Seq != in.Seq || out.Size != in.Size ||
+		out.Class != in.Class || out.Priority != in.Priority || out.Hops != in.Hops {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", out, *in)
+	}
+	if math.Abs(out.CreatedAt-in.CreatedAt) > 1e-9 {
+		t.Fatalf("CreatedAt = %v, want %v", out.CreatedAt, in.CreatedAt)
+	}
+	if math.Abs(out.JitterOffset-in.JitterOffset) > 1e-9 {
+		t.Fatalf("JitterOffset = %v, want %v", out.JitterOffset, in.JitterOffset)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(flow uint32, seq uint64, size uint16, class uint8, prio, hops uint8, created uint32, offsetMicros int32) bool {
+		in := &Packet{
+			FlowID:       flow,
+			Seq:          seq,
+			Size:         int(size),
+			Class:        Class(class % 3),
+			Priority:     prio,
+			Hops:         hops,
+			CreatedAt:    float64(created) / 1000.0,
+			JitterOffset: float64(offsetMicros) / 1e6,
+		}
+		buf, err := AppendHeader(in, nil)
+		if err != nil {
+			return false
+		}
+		var out Packet
+		if _, err := UnmarshalHeader(buf, &out); err != nil {
+			return false
+		}
+		return out.FlowID == in.FlowID && out.Seq == in.Seq && out.Size == in.Size &&
+			out.Class == in.Class && out.Priority == in.Priority && out.Hops == in.Hops &&
+			math.Abs(out.CreatedAt-in.CreatedAt) < 1e-9 &&
+			math.Abs(out.JitterOffset-in.JitterOffset) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalShortBuffer(t *testing.T) {
+	p := &Packet{}
+	buf := make([]byte, HeaderLen-1)
+	if _, err := MarshalHeader(p, buf); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	var p Packet
+	if _, err := UnmarshalHeader(make([]byte, 10), &p); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestMarshalInvalidClass(t *testing.T) {
+	p := &Packet{Class: Class(7)}
+	var buf [HeaderLen]byte
+	if _, err := MarshalHeader(p, buf[:]); !errors.Is(err, ErrBadClass) {
+		t.Fatalf("err = %v, want ErrBadClass", err)
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	p := &Packet{Class: Guaranteed}
+	buf, err := AppendHeader(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	var out Packet
+	if _, err := UnmarshalHeader(buf, &out); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestUnmarshalBadClass(t *testing.T) {
+	p := &Packet{Class: Guaranteed}
+	buf, err := AppendHeader(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 5
+	var out Packet
+	if _, err := UnmarshalHeader(buf, &out); !errors.Is(err, ErrBadClass) {
+		t.Fatalf("err = %v, want ErrBadClass", err)
+	}
+}
+
+func TestUnmarshalLeavesScratchAlone(t *testing.T) {
+	in := &Packet{Class: Datagram, FlowID: 1}
+	buf, err := AppendHeader(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Packet{Tag: 3.5, ArrivedAt: 9, Payload: "x"}
+	if _, err := UnmarshalHeader(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tag != 3.5 || out.ArrivedAt != 9 || out.Payload != "x" {
+		t.Fatal("UnmarshalHeader clobbered scheduler scratch fields")
+	}
+}
+
+func BenchmarkMarshalHeader(b *testing.B) {
+	p := &Packet{FlowID: 1, Seq: 2, Size: 1000, Class: Predicted, CreatedAt: 1.5}
+	var buf [HeaderLen]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalHeader(p, buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalHeader(b *testing.B) {
+	p := &Packet{FlowID: 1, Seq: 2, Size: 1000, Class: Predicted, CreatedAt: 1.5}
+	buf, _ := AppendHeader(p, nil)
+	var out Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalHeader(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

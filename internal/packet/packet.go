@@ -1,0 +1,84 @@
+// Package packet defines the packet model shared by every subsystem, along
+// with the binary wire format for the ISPN header proposed by the paper
+// (Section 12 proposes that the FIFO+ jitter-offset control field "be defined
+// as part of the packet header").
+package packet
+
+import "fmt"
+
+// Class is the service commitment a packet travels under (paper Section 3).
+type Class uint8
+
+const (
+	// Guaranteed service: worst-case Parekh-Gallager delay bounds,
+	// isolated from all other traffic by WFQ.
+	Guaranteed Class = iota
+	// Predicted service: measurement-based bounds, FIFO+ sharing inside a
+	// priority class.
+	Predicted
+	// Datagram service: best effort, lowest priority.
+	Datagram
+)
+
+func (c Class) String() string {
+	switch c {
+	case Guaranteed:
+		return "guaranteed"
+	case Predicted:
+		return "predicted"
+	case Datagram:
+		return "datagram"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Packet is one packet in flight. Sizes are in bits, matching the paper's
+// units (1000-bit packets on 1 Mbit/s links give 1 ms transmission time).
+type Packet struct {
+	FlowID uint32
+	Seq    uint64
+	Size   int // bits
+	Class  Class
+	// Priority is the predicted-service priority level at the current
+	// switch: 0 is the highest real-time class; datagram traffic sits
+	// below every predicted class regardless of this value.
+	Priority uint8
+
+	// CreatedAt is the generation time at the source.
+	CreatedAt float64
+	// ArrivedAt is the enqueue time at the current hop; each output port
+	// rewrites it. Used for per-hop queueing delay measurement.
+	ArrivedAt float64
+	// JitterOffset is the FIFO+ header field: the accumulated difference
+	// (seconds, signed) between the delay this packet actually received
+	// at upstream hops and the class-average delay there. A switch
+	// computing ArrivedAt-JitterOffset recovers when the packet "should
+	// have" arrived under average service.
+	JitterOffset float64
+	// Hops counts inter-switch links traversed so far.
+	Hops uint8
+
+	// Tag is scratch space for schedulers (WFQ virtual finish time,
+	// deadline keys). It is not part of the wire format.
+	Tag float64
+
+	// Payload carries transport-layer state (e.g. *tcp.Segment). It is
+	// opaque to the network layer.
+	Payload any
+}
+
+// ExpectedArrival is the FIFO+ expected arrival time at the current hop: the
+// time the packet would have arrived had it received class-average service at
+// every upstream hop.
+func (p *Packet) ExpectedArrival() float64 { return p.ArrivedAt - p.JitterOffset }
+
+// TransmissionTime returns the serialization delay of the packet on a link of
+// the given bandwidth (bits per second).
+func (p *Packet) TransmissionTime(bandwidth float64) float64 {
+	return float64(p.Size) / bandwidth
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{flow=%d seq=%d %s prio=%d size=%db}", p.FlowID, p.Seq, p.Class, p.Priority, p.Size)
+}

@@ -1,0 +1,134 @@
+package playback
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRigidCountsLosses(t *testing.T) {
+	r := NewRigid(0.010)
+	if !r.Deliver(0, 0.005) {
+		t.Fatal("on-time packet counted as loss")
+	}
+	if r.Deliver(0, 0.020) {
+		t.Fatal("late packet not counted as loss")
+	}
+	if r.Losses() != 1 || r.Total() != 2 {
+		t.Fatalf("losses/total = %d/%d, want 1/2", r.Losses(), r.Total())
+	}
+	if r.Point() != 0.010 {
+		t.Fatal("rigid point moved")
+	}
+}
+
+func TestRigidPointNeverMoves(t *testing.T) {
+	r := NewRigid(0.010)
+	for i := 0; i < 1000; i++ {
+		r.Deliver(0, 0.5) // all late
+	}
+	if r.Point() != 0.010 {
+		t.Fatal("rigid point moved under stress")
+	}
+	if r.Losses() != 1000 {
+		t.Fatalf("losses = %d, want 1000", r.Losses())
+	}
+}
+
+func TestAdaptiveMovesBelowAPrioriBound(t *testing.T) {
+	// Delays are ~1-2 ms but the a priori bound is 500 ms: the adaptive
+	// client must settle far below the bound (the paper's core argument
+	// for predicted service).
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.5, TargetLoss: 0.01})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a.Deliver(0, 0.001+0.001*rng.Float64())
+	}
+	if a.Point() > 0.01 {
+		t.Fatalf("adaptive point = %v, want well under the 0.5 a priori bound", a.Point())
+	}
+	if a.Point() < 0.001 {
+		t.Fatalf("adaptive point = %v below the delay floor", a.Point())
+	}
+}
+
+func TestAdaptiveHoldsInitialPointEarly(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.25})
+	for i := 0; i < 5; i++ {
+		a.Deliver(0, 0.001)
+	}
+	if a.Point() != 0.25 {
+		t.Fatalf("point moved after %d samples: %v", 5, a.Point())
+	}
+}
+
+func TestAdaptiveReadjustsUpward(t *testing.T) {
+	// When network conditions shift, the client must raise the point —
+	// after a transient burst of losses (the "momentary disruption" the
+	// paper describes).
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.5, TargetLoss: 0.05})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a.Deliver(0, 0.001+0.0005*rng.Float64())
+	}
+	low := a.Point()
+	for i := 0; i < 20000; i++ {
+		a.Deliver(0, 0.010+0.002*rng.Float64())
+	}
+	if a.Point() <= low {
+		t.Fatalf("point did not rise after delay shift: %v <= %v", a.Point(), low)
+	}
+	if a.Point() < 0.010 {
+		t.Fatalf("point = %v still below the new delay floor", a.Point())
+	}
+}
+
+func TestAdaptiveLossRateNearTarget(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.1, TargetLoss: 0.01, Margin: 1.0})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		// Exponential delays: a heavy-ish tail so losses actually
+		// occur.
+		a.Deliver(0, rng.ExpFloat64()*0.002)
+	}
+	rate := float64(a.Losses()) / float64(a.Total())
+	if rate > 0.05 {
+		t.Fatalf("loss rate %v far above the 1%% target", rate)
+	}
+	if a.Losses() == 0 {
+		t.Fatal("zero losses is implausible with margin 1.0 and exponential tails")
+	}
+}
+
+func TestAdaptiveMeanPointTracksUsage(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 1.0, TargetLoss: 0.01})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		a.Deliver(0, 0.001*rng.Float64())
+	}
+	mp := a.MeanPoint()
+	if mp <= 0 || mp > 1.0 {
+		t.Fatalf("MeanPoint = %v out of range", mp)
+	}
+	if mp <= a.Point() {
+		t.Fatalf("mean point %v should exceed final settled point %v (it includes the initial bound)", mp, a.Point())
+	}
+}
+
+func TestAdaptiveMinPointFloor(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.5, MinPoint: 0.02, TargetLoss: 0.01})
+	for i := 0; i < 1000; i++ {
+		a.Deliver(0, 0.0001)
+	}
+	if a.Point() < 0.02 {
+		t.Fatalf("point %v below MinPoint", a.Point())
+	}
+}
+
+func TestAdaptiveBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TargetLoss >= 1 did not panic")
+		}
+	}()
+	NewAdaptive(AdaptiveConfig{TargetLoss: 2})
+}

@@ -1,0 +1,78 @@
+package queue
+
+import (
+	"container/heap"
+
+	"ispn/internal/packet"
+)
+
+// DeadlineQueue is a priority queue of packets keyed on a float64 deadline
+// (smallest first). Ties are broken by insertion order, so packets with equal
+// deadlines are served FIFO — the degenerate case the paper highlights
+// ("deadline scheduling in a homogeneous class leads to FIFO").
+type DeadlineQueue struct {
+	h   dlHeap
+	seq uint64
+}
+
+type dlItem struct {
+	p   *packet.Packet
+	key float64
+	seq uint64
+}
+
+type dlHeap []dlItem
+
+func (h dlHeap) Len() int { return len(h) }
+func (h dlHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h dlHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *dlHeap) Push(x any)   { *h = append(*h, x.(dlItem)) }
+func (h *dlHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = dlItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// NewDeadlineQueue returns an empty deadline queue.
+func NewDeadlineQueue() *DeadlineQueue { return &DeadlineQueue{} }
+
+// Len returns the number of queued packets.
+func (q *DeadlineQueue) Len() int { return len(q.h) }
+
+// Push inserts p with the given deadline key.
+func (q *DeadlineQueue) Push(p *packet.Packet, key float64) {
+	heap.Push(&q.h, dlItem{p: p, key: key, seq: q.seq})
+	q.seq++
+}
+
+// Pop removes and returns the packet with the smallest deadline, or nil.
+func (q *DeadlineQueue) Pop() *packet.Packet {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(dlItem).p
+}
+
+// Peek returns the packet with the smallest deadline without removing it.
+func (q *DeadlineQueue) Peek() *packet.Packet {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0].p
+}
+
+// PeekKey returns the smallest deadline key. It panics if the queue is empty.
+func (q *DeadlineQueue) PeekKey() float64 {
+	if len(q.h) == 0 {
+		panic("queue: PeekKey of empty DeadlineQueue")
+	}
+	return q.h[0].key
+}

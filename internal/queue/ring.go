@@ -1,0 +1,108 @@
+// Package queue provides the packet containers used by the schedulers: a
+// growable FIFO ring buffer and a deadline-ordered priority queue (used by
+// FIFO+ to order packets by expected arrival time).
+package queue
+
+import "ispn/internal/packet"
+
+// Ring is a growable FIFO queue of packets backed by a circular buffer.
+// The zero value is ready to use.
+type Ring struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+// NewRing returns a ring with capacity preallocated for capHint packets.
+func NewRing(capHint int) *Ring {
+	if capHint < 4 {
+		capHint = 4
+	}
+	return &Ring{buf: make([]*packet.Packet, capHint)}
+}
+
+// Len returns the number of queued packets.
+func (r *Ring) Len() int { return r.n }
+
+// Push appends p at the tail.
+func (r *Ring) Push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (r *Ring) Pop() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (r *Ring) Peek() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *Ring) grow() {
+	nb := make([]*packet.Packet, max(4, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// FloatRing is a growable FIFO of float64 values, used by hierarchical WFQ to
+// keep per-flow virtual finish tags in arrival order. The zero value is ready
+// to use.
+type FloatRing struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+// Len returns the number of queued values.
+func (r *FloatRing) Len() int { return r.n }
+
+// Push appends v at the tail.
+func (r *FloatRing) Push(v float64) {
+	if r.n == len(r.buf) {
+		nb := make([]float64, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Pop removes and returns the head value. It panics if the ring is empty.
+func (r *FloatRing) Pop() float64 {
+	if r.n == 0 {
+		panic("queue: Pop from empty FloatRing")
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// Peek returns the head value. It panics if the ring is empty.
+func (r *FloatRing) Peek() float64 {
+	if r.n == 0 {
+		panic("queue: Peek of empty FloatRing")
+	}
+	return r.buf[r.head]
+}

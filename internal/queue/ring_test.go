@@ -1,0 +1,168 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ispn/internal/packet"
+)
+
+func mkPkt(seq uint64) *packet.Packet { return &packet.Packet{Seq: seq} }
+
+func TestRingFIFOOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(0); i < 10; i++ {
+		r.Push(mkPkt(i))
+	}
+	for i := uint64(0); i < 10; i++ {
+		p := r.Pop()
+		if p == nil || p.Seq != i {
+			t.Fatalf("Pop #%d = %v, want seq %d", i, p, i)
+		}
+	}
+	if r.Pop() != nil {
+		t.Fatal("Pop from empty ring should return nil")
+	}
+}
+
+func TestRingGrowthPreservesOrder(t *testing.T) {
+	r := NewRing(4)
+	// Interleave pushes and pops so head is offset when growth happens.
+	for i := uint64(0); i < 3; i++ {
+		r.Push(mkPkt(i))
+	}
+	r.Pop() // head moves to 1
+	for i := uint64(3); i < 20; i++ {
+		r.Push(mkPkt(i))
+	}
+	for i := uint64(1); i < 20; i++ {
+		p := r.Pop()
+		if p.Seq != i {
+			t.Fatalf("Pop = seq %d, want %d", p.Seq, i)
+		}
+	}
+}
+
+func TestRingPeek(t *testing.T) {
+	r := NewRing(4)
+	if r.Peek() != nil {
+		t.Fatal("Peek of empty ring should be nil")
+	}
+	r.Push(mkPkt(7))
+	if r.Peek().Seq != 7 {
+		t.Fatal("Peek returned wrong packet")
+	}
+	if r.Len() != 1 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestRingZeroValue(t *testing.T) {
+	var r Ring
+	r.Push(mkPkt(1))
+	if r.Pop().Seq != 1 {
+		t.Fatal("zero-value Ring did not work")
+	}
+}
+
+// Property: a Ring behaves exactly like a slice-backed FIFO under any
+// push/pop interleaving.
+func TestRingMatchesModel(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRing(2)
+		var model []*packet.Packet
+		seq := uint64(0)
+		for _, push := range ops {
+			if push {
+				p := mkPkt(seq)
+				seq++
+				r.Push(p)
+				model = append(model, p)
+			} else {
+				got := r.Pop()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatRingOrder(t *testing.T) {
+	var r FloatRing
+	for i := 0; i < 50; i++ {
+		r.Push(float64(i) * 1.5)
+	}
+	if r.Peek() != 0 {
+		t.Fatalf("Peek = %v, want 0", r.Peek())
+	}
+	for i := 0; i < 50; i++ {
+		if v := r.Pop(); v != float64(i)*1.5 {
+			t.Fatalf("Pop = %v, want %v", v, float64(i)*1.5)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("Len != 0 after draining")
+	}
+}
+
+func TestFloatRingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop of empty FloatRing did not panic")
+		}
+	}()
+	var r FloatRing
+	r.Pop()
+}
+
+func TestFloatRingPeekEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peek of empty FloatRing did not panic")
+		}
+	}()
+	var r FloatRing
+	r.Peek()
+}
+
+func TestFloatRingInterleaved(t *testing.T) {
+	var r FloatRing
+	next, expect := 0.0, 0.0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if v := r.Pop(); v != expect {
+				t.Fatalf("Pop = %v, want %v", v, expect)
+			}
+			expect++
+		}
+	}
+	for r.Len() > 0 {
+		if v := r.Pop(); v != expect {
+			t.Fatalf("drain Pop = %v, want %v", v, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained to %v, want %v", expect, next)
+	}
+}

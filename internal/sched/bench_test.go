@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ispn/internal/packet"
+)
+
+// Micro-benchmarks: per-operation cost of each discipline. The paper's
+// constraint: the forwarding path "must be executed for every packet [so] it
+// must not be so complex as to effect overall network performance"; these
+// quantify the cost of FIFO+ ordered insertion and WFQ tag bookkeeping
+// relative to plain FIFO.
+
+func benchPackets(n int) []*packet.Packet {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]*packet.Packet, n)
+	for i := range ps {
+		ps[i] = &packet.Packet{
+			FlowID:       uint32(rng.Intn(10)),
+			Seq:          uint64(i),
+			Size:         1000,
+			Class:        packet.Predicted,
+			ArrivedAt:    float64(i) * 0.001,
+			JitterOffset: (rng.Float64() - 0.5) * 0.01,
+		}
+	}
+	return ps
+}
+
+func benchCycle(b *testing.B, s Scheduler) {
+	ps := benchPackets(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now += 0.001
+		s.Enqueue(ps[i%1024], now)
+		if s.Len() > 64 {
+			s.Dequeue(now)
+		}
+	}
+}
+
+func BenchmarkFIFOEnqueueDequeue(b *testing.B) { benchCycle(b, NewFIFO()) }
+
+func BenchmarkFIFOPlusEnqueueDequeue(b *testing.B) { benchCycle(b, NewFIFOPlus(0)) }
+
+func BenchmarkPriorityEnqueueDequeue(b *testing.B) {
+	benchCycle(b, NewPriority([]Scheduler{NewFIFOPlus(0), NewFIFOPlus(0), NewFIFO()}, nil))
+}
+
+func BenchmarkWFQEnqueueDequeue(b *testing.B) {
+	w := NewWFQ(1e6)
+	for f := 0; f < 10; f++ {
+		w.AddFlow(uint32(f), 1e5)
+	}
+	benchCycle(b, w)
+}
+
+func BenchmarkVirtualClockEnqueueDequeue(b *testing.B) {
+	v := NewVirtualClock()
+	for f := 0; f < 10; f++ {
+		v.AddFlow(uint32(f), 1e5)
+	}
+	benchCycle(b, v)
+}
+
+func BenchmarkDRREnqueueDequeue(b *testing.B) { benchCycle(b, NewDRR(1000, true)) }
+
+func BenchmarkUnifiedEnqueueDequeue(b *testing.B) {
+	u := NewUnified(UnifiedConfig{LinkRate: 1e6, PredictedClasses: 2})
+	// Flows 0-9 exist as predicted traffic via the fallback; add three
+	// guaranteed reservations like a Table-3 link.
+	u.AddGuaranteed(100, 1.7e5)
+	u.AddGuaranteed(101, 1.7e5)
+	u.AddGuaranteed(102, 0.85e5)
+	benchCycle(b, u)
+}
+
+func BenchmarkRegulatorEnqueueDequeue(b *testing.B) {
+	benchCycle(b, NewRegulator(NewFIFO()))
+}
+
+func BenchmarkGPSSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rates := map[uint32]float64{0: 3e5, 1: 3e5, 2: 4e5}
+	var arr []GPSArrival
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += rng.ExpFloat64() * 0.0005
+		arr = append(arr, GPSArrival{Time: now, Flow: uint32(i % 3), Size: 1000})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GPSSimulate(1e6, rates, arr)
+	}
+}

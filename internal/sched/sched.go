@@ -1,0 +1,64 @@
+// Package sched implements the paper's packet scheduling algorithms:
+//
+//   - FIFO — the sharing discipline for predicted service at one hop
+//     (Section 5): bursts are multiplexed so post-facto jitter shrinks.
+//   - FIFOPlus — FIFO+ (Section 6): FIFO sharing correlated across hops via
+//     the jitter-offset header field, so jitter stops growing with path
+//     length.
+//   - Priority — strict priority between predicted-service classes and
+//     datagram traffic (Section 7).
+//   - WFQ — weighted fair queueing (Section 4): the isolation discipline
+//     that delivers guaranteed service with Parekh–Gallager bounds.
+//   - Unified — the paper's Section 7 scheduler: WFQ isolation between
+//     guaranteed flows and a pseudo "flow 0" holding the priority-ordered
+//     FIFO+ classes plus datagram traffic.
+//   - VirtualClock and DRR — related-work baselines used in ablations.
+//
+// All schedulers are single-goroutine simulation objects: the discrete-event
+// engine serializes access, so they carry no locks.
+package sched
+
+import (
+	"ispn/internal/packet"
+	"ispn/internal/queue"
+)
+
+// Scheduler selects the order in which queued packets leave an output port.
+// Enqueue and Dequeue take the current simulated time because several
+// disciplines (WFQ virtual time, FIFO+ averages) are time-dependent.
+type Scheduler interface {
+	// Enqueue accepts a packet. Buffer limits are enforced by the port,
+	// not the scheduler, so Enqueue cannot fail.
+	Enqueue(p *packet.Packet, now float64)
+	// Dequeue removes and returns the next packet to transmit, or nil if
+	// the scheduler is empty.
+	Dequeue(now float64) *packet.Packet
+	// Peek returns the packet Dequeue would return, without removing it.
+	Peek() *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+}
+
+// FIFO is first-in-first-out service — the paper's sharing discipline for a
+// single class at a single hop, and the service discipline for datagram
+// traffic.
+type FIFO struct {
+	q queue.Ring
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(p *packet.Packet, _ float64) { f.q.Push(p) }
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue(_ float64) *packet.Packet { return f.q.Pop() }
+
+// Peek implements Scheduler.
+func (f *FIFO) Peek() *packet.Packet { return f.q.Peek() }
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return f.q.Len() }
+
+var _ Scheduler = (*FIFO)(nil)

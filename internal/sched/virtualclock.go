@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"ispn/internal/packet"
+	"ispn/internal/queue"
+)
+
+// VirtualClock implements Zhang's VirtualClock discipline (reference [26] of
+// the paper), a baseline with an "extremely similar underlying packet
+// scheduling algorithm" to WFQ but with per-flow clocks that advance in real
+// time rather than virtual time: each flow keeps a clock
+// VC = max(now, VC) + size/r, packets are stamped with VC, and the smallest
+// stamp is served first.
+type VirtualClock struct {
+	flows []*vcFlow
+	byID  map[uint32]*vcFlow
+	n     int
+}
+
+type vcFlow struct {
+	id    uint32
+	rate  float64
+	clock float64
+	tags  queue.FloatRing
+	q     queue.Ring
+}
+
+// NewVirtualClock returns an empty VirtualClock scheduler.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{byID: make(map[uint32]*vcFlow)}
+}
+
+// AddFlow registers a flow with the given clock rate (bits/second).
+func (v *VirtualClock) AddFlow(id uint32, rate float64) {
+	if rate <= 0 {
+		panic("sched: VirtualClock flow rate must be positive")
+	}
+	if _, dup := v.byID[id]; dup {
+		panic(fmt.Sprintf("sched: VirtualClock flow %d already registered", id))
+	}
+	f := &vcFlow{id: id, rate: rate}
+	v.flows = append(v.flows, f)
+	v.byID[id] = f
+}
+
+// Enqueue implements Scheduler.
+func (v *VirtualClock) Enqueue(p *packet.Packet, now float64) {
+	f, ok := v.byID[p.FlowID]
+	if !ok {
+		panic(fmt.Sprintf("sched: VirtualClock packet for unknown flow %d", p.FlowID))
+	}
+	f.clock = math.Max(now, f.clock) + float64(p.Size)/f.rate
+	f.tags.Push(f.clock)
+	f.q.Push(p)
+	v.n++
+}
+
+func (v *VirtualClock) pick() *vcFlow {
+	var best *vcFlow
+	bestTag := math.Inf(1)
+	for _, f := range v.flows {
+		if f.tags.Len() == 0 {
+			continue
+		}
+		if t := f.tags.Peek(); t < bestTag {
+			bestTag = t
+			best = f
+		}
+	}
+	return best
+}
+
+// Dequeue implements Scheduler.
+func (v *VirtualClock) Dequeue(now float64) *packet.Packet {
+	if v.n == 0 {
+		return nil
+	}
+	f := v.pick()
+	f.tags.Pop()
+	v.n--
+	return f.q.Pop()
+}
+
+// Peek implements Scheduler.
+func (v *VirtualClock) Peek() *packet.Packet {
+	if v.n == 0 {
+		return nil
+	}
+	return v.pick().q.Peek()
+}
+
+// Len implements Scheduler.
+func (v *VirtualClock) Len() int { return v.n }
+
+var _ Scheduler = (*VirtualClock)(nil)

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"ispn/internal/packet"
+	"ispn/internal/queue"
+)
+
+// WFQ is weighted fair queueing — the paper's Section 4 isolation mechanism,
+// equivalent to Parekh–Gallager's PGPS. Each flow α owns a clock rate r_α
+// (bits/second); when backlogged it receives at least the share
+// r_α / Σ r_β of the link.
+//
+// Implementation: the standard virtual-time realization. Virtual time V
+// advances at rate µ / Σ_{backlogged} r; an arriving packet is stamped with a
+// finish tag F = max(V, F_prev) + size/r, and the flow whose oldest
+// outstanding tag is smallest is served first.
+//
+// A flow's packets may be reordered internally by a child scheduler (the
+// unified scheduler's pseudo flow 0 contains priority classes and FIFO+):
+// tags are kept in a per-flow FIFO of their own, and WFQ consumes the oldest
+// tag whenever it serves the flow, regardless of which packet the child
+// yields. WFQ bandwidth accounting is thus in arrival order while the
+// intra-flow order is the child's business.
+type WFQ struct {
+	linkRate float64
+	flows    []*wfqFlow          // registration order, for deterministic ties
+	byID     map[uint32]*wfqFlow // flow id -> flow
+	fallback *wfqFlow            // flow for unregistered ids (pseudo flow 0), optional
+
+	vt         float64 // virtual time
+	lastUpdate float64
+	activeRate float64 // Σ rates of backlogged flows
+	n          int
+}
+
+type wfqFlow struct {
+	id         uint32
+	rate       float64
+	lastFinish float64
+	tags       queue.FloatRing
+	child      Scheduler
+}
+
+// NewWFQ returns an empty WFQ scheduler for a link of the given rate
+// (bits/second).
+func NewWFQ(linkRate float64) *WFQ {
+	if linkRate <= 0 {
+		panic("sched: WFQ link rate must be positive")
+	}
+	return &WFQ{linkRate: linkRate, byID: make(map[uint32]*wfqFlow)}
+}
+
+// AddFlow registers a flow with the given clock rate. Packets of the flow are
+// served FIFO within the flow. It panics if the id is already registered or
+// the rate is not positive.
+func (w *WFQ) AddFlow(id uint32, rate float64) {
+	w.AddFlowScheduler(id, rate, NewFIFO())
+}
+
+// AddFlowScheduler registers a flow whose internal service order is delegated
+// to child (used for the unified scheduler's pseudo flow 0).
+func (w *WFQ) AddFlowScheduler(id uint32, rate float64, child Scheduler) {
+	if rate <= 0 {
+		panic("sched: WFQ flow rate must be positive")
+	}
+	if _, dup := w.byID[id]; dup {
+		panic(fmt.Sprintf("sched: WFQ flow %d already registered", id))
+	}
+	f := &wfqFlow{id: id, rate: rate, child: child}
+	w.flows = append(w.flows, f)
+	w.byID[id] = f
+}
+
+// SetFallback directs packets of unregistered flow ids to the flow registered
+// under fallbackID. The unified scheduler routes all predicted and datagram
+// traffic this way.
+func (w *WFQ) SetFallback(fallbackID uint32) {
+	f, ok := w.byID[fallbackID]
+	if !ok {
+		panic("sched: WFQ fallback flow not registered")
+	}
+	w.fallback = f
+}
+
+// SetRate changes a flow's clock rate. If the flow is currently backlogged
+// the active-rate sum is adjusted so virtual time stays consistent.
+func (w *WFQ) SetRate(id uint32, rate float64) {
+	if rate <= 0 {
+		panic("sched: WFQ flow rate must be positive")
+	}
+	f, ok := w.byID[id]
+	if !ok {
+		panic("sched: WFQ SetRate on unknown flow")
+	}
+	if f.tags.Len() > 0 {
+		w.activeRate += rate - f.rate
+	}
+	f.rate = rate
+}
+
+// RemoveFlow unregisters an empty flow. It panics if the flow still has
+// queued packets.
+func (w *WFQ) RemoveFlow(id uint32) {
+	f, ok := w.byID[id]
+	if !ok {
+		return
+	}
+	if f.tags.Len() > 0 {
+		panic("sched: WFQ RemoveFlow on backlogged flow")
+	}
+	delete(w.byID, id)
+	for i, g := range w.flows {
+		if g == f {
+			w.flows = append(w.flows[:i], w.flows[i+1:]...)
+			break
+		}
+	}
+	if w.fallback == f {
+		w.fallback = nil
+	}
+}
+
+// Rate returns the clock rate of flow id (0 if unknown).
+func (w *WFQ) Rate(id uint32) float64 {
+	if f, ok := w.byID[id]; ok {
+		return f.rate
+	}
+	return 0
+}
+
+func (w *WFQ) flowOf(p *packet.Packet) *wfqFlow {
+	if f, ok := w.byID[p.FlowID]; ok {
+		return f
+	}
+	if w.fallback != nil {
+		return w.fallback
+	}
+	panic(fmt.Sprintf("sched: WFQ packet for unknown flow %d and no fallback", p.FlowID))
+}
+
+// advance moves virtual time forward to now at the GPS rate.
+func (w *WFQ) advance(now float64) {
+	if now > w.lastUpdate {
+		if w.activeRate > 0 {
+			w.vt += (now - w.lastUpdate) * w.linkRate / w.activeRate
+		}
+		w.lastUpdate = now
+	}
+}
+
+// Enqueue implements Scheduler.
+func (w *WFQ) Enqueue(p *packet.Packet, now float64) {
+	w.advance(now)
+	if w.n == 0 {
+		// New busy period: restart the virtual clock so old finish
+		// tags cannot starve newly arriving flows.
+		w.vt = 0
+		for _, f := range w.flows {
+			f.lastFinish = 0
+		}
+	}
+	f := w.flowOf(p)
+	start := math.Max(w.vt, f.lastFinish)
+	finish := start + float64(p.Size)/f.rate
+	f.lastFinish = finish
+	if f.tags.Len() == 0 {
+		w.activeRate += f.rate
+	}
+	f.tags.Push(finish)
+	f.child.Enqueue(p, now)
+	w.n++
+}
+
+// pick returns the backlogged flow with the smallest oldest tag, breaking
+// ties by registration order.
+func (w *WFQ) pick() *wfqFlow {
+	var best *wfqFlow
+	bestTag := math.Inf(1)
+	for _, f := range w.flows {
+		if f.tags.Len() == 0 {
+			continue
+		}
+		if t := f.tags.Peek(); t < bestTag {
+			bestTag = t
+			best = f
+		}
+	}
+	return best
+}
+
+// Dequeue implements Scheduler.
+func (w *WFQ) Dequeue(now float64) *packet.Packet {
+	if w.n == 0 {
+		return nil
+	}
+	w.advance(now)
+	f := w.pick()
+	f.tags.Pop()
+	if f.tags.Len() == 0 {
+		w.activeRate -= f.rate
+		if w.activeRate < 1e-9 {
+			w.activeRate = 0
+		}
+	}
+	p := f.child.Dequeue(now)
+	if p == nil {
+		panic("sched: WFQ flow tag/packet count mismatch")
+	}
+	w.n--
+	return p
+}
+
+// Peek implements Scheduler.
+func (w *WFQ) Peek() *packet.Packet {
+	if w.n == 0 {
+		return nil
+	}
+	return w.pick().child.Peek()
+}
+
+// Len implements Scheduler.
+func (w *WFQ) Len() int { return w.n }
+
+// VirtualTime exposes the current virtual time (for tests).
+func (w *WFQ) VirtualTime() float64 { return w.vt }
+
+var _ Scheduler = (*WFQ)(nil)
+
+// NewFairQueueing returns WFQ configured as the original (unweighted) Fair
+// Queueing algorithm of Demers, Keshav and Shenker: n flows with equal clock
+// rates summing to the link rate.
+func NewFairQueueing(linkRate float64, flowIDs []uint32) *WFQ {
+	w := NewWFQ(linkRate)
+	share := linkRate / float64(len(flowIDs))
+	for _, id := range flowIDs {
+		w.AddFlow(id, share)
+	}
+	return w
+}

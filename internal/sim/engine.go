@@ -1,0 +1,150 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a clock (float64 seconds) and a pending-event queue
+// ordered by (time, insertion sequence), so simulations are fully
+// reproducible: two events scheduled for the same instant fire in the order
+// they were scheduled. Events are cancellable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is returned by Schedule/At so callers can
+// cancel it before it fires.
+type Event struct {
+	time  float64
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once removed
+}
+
+// Time returns the simulated time at which the event will fire.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event has been cancelled or has already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now       float64
+	seq       uint64
+	events    eventHeap
+	stopped   bool
+	processed uint64
+}
+
+// New returns an engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule arranges for fn to run delay seconds from now. A negative delay is
+// treated as zero. It panics on NaN delays, which always indicate a
+// simulation bug.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if math.IsNaN(delay) {
+		panic("sim: NaN delay")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t. Times before the current
+// clock are clamped to now.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling a nil, fired, or already
+// cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Stop makes the currently executing Run return once the current event's
+// callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with time <= t, then advances the clock to t
+// (unless the run was stopped early or the horizon is infinite).
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.time > t {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.time > e.now {
+			e.now = next.time
+		}
+		e.processed++
+		next.fn()
+	}
+	if !e.stopped && !math.IsInf(t, 1) && t > e.now {
+		e.now = t
+	}
+}
+
+// String summarizes engine state, for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%.6fs pending=%d processed=%d}", e.now, len(e.events), e.processed)
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, d := range []float64{3, 1, 2, 0.5} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	want := []float64{0.5, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New()
+	e.Schedule(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now() inside event = %v, want 2.5", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() after run = %v, want 2.5", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v, want [1 2]", times)
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() {
+			fired = true
+			if e.Now() != 5 {
+				t.Errorf("negative-delay event fired at %v, want 5", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestAtBeforeNowClamps(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		e.At(3, func() {
+			if e.Now() != 10 {
+				t.Errorf("past event fired at %v, want 10", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.Schedule(float64(i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[13])
+	e.Run()
+	if len(got) != 18 {
+		t.Fatalf("ran %d events, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(2.5)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events, want 2", len(got))
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() = %v, want 2.5", e.Now())
+	}
+	e.RunUntil(10)
+	if len(got) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(got))
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(2.0, func() { fired = true })
+	e.RunUntil(2.0)
+	if !fired {
+		t.Fatal("event at exactly the horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	e.Run() // resumes
+	if count != 10 {
+		t.Fatalf("ran %d events after resume, want 10", count)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestNaNDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN delay did not panic")
+		}
+	}()
+	New().Schedule(math.NaN(), func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine processes all of them.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []float64) bool {
+		e := New()
+		var fired []float64
+		n := 0
+		for _, d := range delays {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			d = math.Abs(d)
+			n++
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	e := New()
+	if e.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

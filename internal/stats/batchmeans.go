@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// BatchMeans estimates a confidence interval for the steady-state mean of a
+// correlated simulation output series using the method of non-overlapping
+// batch means: the series is split into k batches, each batch mean is
+// treated as an (approximately) independent observation, and a normal-theory
+// interval is computed from their spread. This is the standard remedy for
+// the fact that consecutive queueing delays are strongly autocorrelated, so
+// a naive standard error would be wildly optimistic.
+type BatchMeans struct {
+	Mean     float64 // grand mean
+	HalfWide float64 // half-width of the confidence interval
+	Batches  int
+	N        int
+}
+
+// zFor maps a confidence level to the two-sided normal quantile. Only the
+// conventional levels are supported; anything else panics.
+func zFor(level float64) float64 {
+	switch level {
+	case 0.90:
+		return 1.6449
+	case 0.95:
+		return 1.9600
+	case 0.99:
+		return 2.5758
+	default:
+		panic("stats: confidence level must be 0.90, 0.95 or 0.99")
+	}
+}
+
+// NewBatchMeans computes a confidence interval at the given level from the
+// series, using batches non-overlapping batches (>= 2; 20-30 is customary).
+// Samples that do not fill the last batch are discarded. It panics if there
+// are not at least 2 samples per batch.
+func NewBatchMeans(series []float64, batches int, level float64) BatchMeans {
+	if batches < 2 {
+		panic("stats: need at least 2 batches")
+	}
+	per := len(series) / batches
+	if per < 2 {
+		panic("stats: need at least 2 samples per batch")
+	}
+	means := make([]float64, batches)
+	for b := 0; b < batches; b++ {
+		sum := 0.0
+		for i := b * per; i < (b+1)*per; i++ {
+			sum += series[i]
+		}
+		means[b] = sum / float64(per)
+	}
+	grand := 0.0
+	for _, m := range means {
+		grand += m
+	}
+	grand /= float64(batches)
+	varSum := 0.0
+	for _, m := range means {
+		d := m - grand
+		varSum += d * d
+	}
+	se := math.Sqrt(varSum / float64(batches-1) / float64(batches))
+	return BatchMeans{
+		Mean:     grand,
+		HalfWide: zFor(level) * se,
+		Batches:  batches,
+		N:        per * batches,
+	}
+}
+
+// Contains reports whether the interval covers x.
+func (b BatchMeans) Contains(x float64) bool {
+	return x >= b.Mean-b.HalfWide && x <= b.Mean+b.HalfWide
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For iid samples the 95% interval should cover the true mean in
+	// roughly 95% of replications.
+	rng := rand.New(rand.NewSource(8))
+	cover := 0
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		series := make([]float64, 3000)
+		for i := range series {
+			series[i] = rng.NormFloat64()*2 + 5
+		}
+		bm := NewBatchMeans(series, 30, 0.95)
+		if bm.Contains(5) {
+			cover++
+		}
+	}
+	rate := float64(cover) / reps
+	if rate < 0.88 || rate > 0.995 {
+		t.Fatalf("coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestBatchMeansCorrelatedSeriesWiderThanNaive(t *testing.T) {
+	// An AR(1) series with strong positive correlation: the batch-means
+	// half-width must far exceed the naive iid standard error.
+	rng := rand.New(rand.NewSource(9))
+	series := make([]float64, 30000)
+	x := 0.0
+	var w Welford
+	for i := range series {
+		x = 0.95*x + rng.NormFloat64()
+		series[i] = x
+		w.Add(x)
+	}
+	bm := NewBatchMeans(series, 30, 0.95)
+	naive := 1.96 * w.Stddev() / math.Sqrt(float64(len(series)))
+	if bm.HalfWide < 2*naive {
+		t.Fatalf("batch-means half-width %v not clearly wider than naive %v for AR(1)", bm.HalfWide, naive)
+	}
+}
+
+func TestBatchMeansGrandMeanMatches(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	bm := NewBatchMeans(series, 2, 0.95)
+	if math.Abs(bm.Mean-4.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 4.5", bm.Mean)
+	}
+	if bm.N != 8 || bm.Batches != 2 {
+		t.Fatalf("N/Batches = %d/%d", bm.N, bm.Batches)
+	}
+}
+
+func TestBatchMeansDiscardsTail(t *testing.T) {
+	// 10 samples into 3 batches of 3: the 10th is dropped.
+	series := []float64{1, 1, 1, 2, 2, 2, 3, 3, 3, 100}
+	bm := NewBatchMeans(series, 3, 0.95)
+	if bm.N != 9 {
+		t.Fatalf("N = %d, want 9", bm.N)
+	}
+	if math.Abs(bm.Mean-2) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2", bm.Mean)
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBatchMeans(make([]float64, 100), 1, 0.95) },
+		func() { NewBatchMeans(make([]float64, 3), 2, 0.95) },
+		func() { NewBatchMeans(make([]float64, 100), 10, 0.80) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZForLevels(t *testing.T) {
+	if zFor(0.90) >= zFor(0.95) || zFor(0.95) >= zFor(0.99) {
+		t.Fatal("z quantiles not increasing")
+	}
+}

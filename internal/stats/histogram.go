@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-bucketed histogram for positive values (delays). Bucket
+// i covers [min·g^i, min·g^(i+1)) with growth factor g, so a fixed number of
+// buckets spans several orders of magnitude — delay distributions in this
+// system stretch from sub-millisecond to hundreds of milliseconds.
+type Histogram struct {
+	min     float64
+	growth  float64
+	counts  []int64
+	under   int64 // values below min
+	total   int64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram builds a histogram with buckets of the given count starting
+// at min and growing by factor growth (> 1) per bucket.
+func NewHistogram(min, growth float64, buckets int) *Histogram {
+	if min <= 0 || growth <= 1 || buckets < 1 {
+		panic("stats: NewHistogram needs min > 0, growth > 1, buckets >= 1")
+	}
+	return &Histogram{min: min, growth: growth, counts: make([]int64, buckets)}
+}
+
+// NewDelayHistogram covers 0.1 ms to ~100 s in 40 buckets — suitable for
+// any delay this system can produce.
+func NewDelayHistogram() *Histogram { return NewHistogram(1e-4, 1.4142135623730951, 40) }
+
+// Add records one value. Non-positive values land in the underflow bucket;
+// values beyond the last bucket are clamped into it.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x > h.maxSeen {
+		h.maxSeen = x
+	}
+	if x < h.min {
+		h.under++
+		return
+	}
+	i := int(math.Log(x/h.min) / math.Log(h.growth))
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean of recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// BucketBounds returns the lower bound of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.min * math.Pow(h.growth, float64(i))
+	return lo, lo * h.growth
+}
+
+// Quantile returns an estimate of the q-quantile from the buckets (the
+// upper bound of the bucket containing the rank, linearly interpolated).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := h.under
+	if rank <= seen {
+		return h.min
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := h.BucketBounds(i)
+			frac := float64(rank-seen) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += c
+	}
+	return h.maxSeen
+}
+
+// Render draws an ASCII bar chart of the non-empty bucket range, with
+// values scaled by unit (e.g. 1000 for milliseconds) and labelled with
+// unitName.
+func (h *Histogram) Render(unit float64, unitName string) string {
+	if h.total == 0 {
+		return "(no samples)\n"
+	}
+	first, last := -1, -1
+	var peak int64
+	for i, c := range h.counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var b strings.Builder
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%11s < %8.3f %s  %7d\n", "", h.min*unit, unitName, h.under)
+	}
+	if first < 0 {
+		return b.String()
+	}
+	const width = 50
+	for i := first; i <= last; i++ {
+		lo, hi := h.BucketBounds(i)
+		bar := int(float64(h.counts[i]) * width / float64(peak))
+		if h.counts[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%9.3f - %8.3f %s  %7d %s\n",
+			lo*unit, hi*unit, unitName, h.counts[i], strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Merge folds other into h. Both histograms must have identical bucket
+// geometry.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.min != other.min || h.growth != other.growth || len(h.counts) != len(other.counts) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.under += other.under
+	h.total += other.total
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+}
+
+// FromSamples builds a delay histogram from raw samples.
+func FromSamples(samples []float64) *Histogram {
+	h := NewDelayHistogram()
+	for _, s := range samples {
+		h.Add(s)
+	}
+	return h
+}
+
+// sortedCopy is a test helper used by quantile cross-checks.
+func sortedCopy(xs []float64) []float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c
+}

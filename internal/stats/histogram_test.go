@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0.001, 2, 10)
+	for _, x := range []float64{0.0005, 0.001, 0.002, 0.003, 0.1} {
+		h.Add(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Max()-0.1) > 1e-12 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	want := (0.0005 + 0.001 + 0.002 + 0.003 + 0.1) / 5
+	if math.Abs(h.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	lo, hi := h.BucketBounds(0)
+	if lo != 1 || hi != 2 {
+		t.Fatalf("bucket 0 = [%v,%v)", lo, hi)
+	}
+	lo, hi = h.BucketBounds(3)
+	if lo != 8 || hi != 16 {
+		t.Fatalf("bucket 3 = [%v,%v)", lo, hi)
+	}
+}
+
+func TestHistogramQuantileAgainstExact(t *testing.T) {
+	h := NewDelayHistogram()
+	r := NewRecorder()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		x := rng.ExpFloat64() * 0.01
+		h.Add(x)
+		r.Add(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := r.Percentile(q)
+		got := h.Quantile(q)
+		// Log buckets with growth sqrt(2): at most ~41% relative error,
+		// typically far less.
+		if got < exact/1.5 || got > exact*1.5 {
+			t.Fatalf("q=%v: histogram %v vs exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewDelayHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Add(0.00001) // underflow
+	if got := h.Quantile(0.5); got != h.min {
+		t.Fatalf("all-underflow quantile = %v, want min", got)
+	}
+}
+
+func TestHistogramOverflowClamped(t *testing.T) {
+	h := NewHistogram(1, 2, 4) // covers [1, 16)
+	h.Add(1e9)
+	if h.Count() != 1 {
+		t.Fatal("overflow sample lost")
+	}
+	if q := h.Quantile(1.0); q > 16 {
+		t.Fatalf("overflow quantile %v outside last bucket", q)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewDelayHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(0.003)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(0.030)
+	}
+	out := h.Render(1000, "ms")
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars in render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+	if NewDelayHistogram().Render(1, "s") != "(no samples)\n" {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewDelayHistogram()
+	b := NewDelayHistogram()
+	for i := 0; i < 50; i++ {
+		a.Add(0.001)
+		b.Add(0.010)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 0.010 {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on geometry mismatch")
+		}
+	}()
+	NewHistogram(1, 2, 4).Merge(NewHistogram(1, 2, 8))
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 2, 4) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	h := FromSamples([]float64{0.001, 0.002, 0.004})
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := sortedCopy(in)
+	if in[0] != 3 || out[0] != 1 {
+		t.Fatal("sortedCopy mutated input or did not sort")
+	}
+}

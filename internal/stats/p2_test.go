@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2PanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2FewSamplesExact(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	e.Add(5)
+	if e.Value() != 5 {
+		t.Fatalf("Value = %v, want 5", e.Value())
+	}
+	e.Add(1)
+	e.Add(9)
+	// median of {1,5,9} with index floor(0.5*3)=1 -> 5
+	if e.Value() != 5 {
+		t.Fatalf("Value = %v, want 5", e.Value())
+	}
+}
+
+func TestP2MedianUniform(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		e.Add(rng.Float64())
+	}
+	if got := e.Value(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("median estimate = %v, want ~0.5", got)
+	}
+	if e.Count() != 100000 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+}
+
+func TestP2TailQuantileExponential(t *testing.T) {
+	// 0.99 quantile of Exp(1) is -ln(0.01) ~ 4.605.
+	e := NewP2Quantile(0.99)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		e.Add(rng.ExpFloat64())
+	}
+	want := -math.Log(0.01)
+	if got := e.Value(); math.Abs(got-want) > 0.25 {
+		t.Fatalf("0.99 quantile = %v, want ~%v", got, want)
+	}
+}
+
+func TestP2VersusExactOnNormal(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.999} {
+		e := NewP2Quantile(p)
+		r := NewRecorder()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 50000; i++ {
+			x := rng.NormFloat64()
+			e.Add(x)
+			r.Add(x)
+		}
+		exact := r.Percentile(p)
+		got := e.Value()
+		if math.Abs(got-exact) > 0.15 {
+			t.Errorf("p=%v: P2 = %v, exact = %v", p, got, exact)
+		}
+	}
+}
+
+func TestP2MonotoneInsensitiveToOrder(t *testing.T) {
+	// Feeding sorted data is a classic P2 stress case; the estimate must
+	// stay within the data range.
+	e := NewP2Quantile(0.9)
+	for i := 0; i < 10000; i++ {
+		e.Add(float64(i))
+	}
+	v := e.Value()
+	if v < 0 || v > 10000 {
+		t.Fatalf("estimate %v escaped the data range", v)
+	}
+	if math.Abs(v-9000) > 500 {
+		t.Fatalf("0.9 quantile of 0..9999 = %v, want ~9000", v)
+	}
+}

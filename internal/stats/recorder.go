@@ -1,0 +1,149 @@
+// Package stats provides the measurement machinery the architecture depends
+// on: exact and streaming delay statistics (the paper reports means and
+// 99.9th-percentile delays), exponentially weighted averages (FIFO+ class
+// averages), and windowed rate/delay meters (the Section 9 measurement-based
+// admission control needs "consistently conservative estimates" of link
+// utilization and per-class delay).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Recorder accumulates a sample set and answers exact order statistics.
+// It keeps every sample; a 10-minute paper run is ~50k samples per flow,
+// which is cheap. For unbounded runs use P2Quantile instead.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	sumsq   float64
+	max     float64
+	min     float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(x float64) {
+	r.samples = append(r.samples, x)
+	r.sorted = false
+	r.sum += x
+	r.sumsq += x * x
+	if x > r.max {
+		r.max = x
+	}
+	if x < r.min {
+		r.min = x
+	}
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Samples exposes the backing sample slice (order unspecified once
+// Percentile has been called). Callers must not mutate it; it is provided
+// so recorders can be merged without copying.
+func (r *Recorder) Samples() []float64 { return r.samples }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples))
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Stddev returns the population standard deviation.
+func (r *Recorder) Stddev() float64 {
+	n := float64(len(r.samples))
+	if n == 0 {
+		return 0
+	}
+	m := r.sum / n
+	v := r.sumsq/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the exact p-quantile (0 <= p <= 1) using the
+// nearest-rank method on the sorted samples. With no samples it returns 0.
+func (r *Recorder) Percentile(p float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 1 {
+		return r.samples[n-1]
+	}
+	rank := int(math.Ceil(p*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return r.samples[rank]
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm),
+// for contexts where keeping samples is too expensive.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the running population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }

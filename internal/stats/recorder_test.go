@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder()
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 || r.Percentile(0.5) != 0 {
+		t.Fatal("empty recorder should return zeros")
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Add(x)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", r.Mean())
+	}
+	if r.Max() != 5 || r.Min() != 1 {
+		t.Fatalf("Max/Min = %v/%v, want 5/1", r.Max(), r.Min())
+	}
+	if got := r.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("Stddev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestRecorderPercentileNearestRank(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.999, 100}, {1, 100}, {0.25, 25},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRecorderAddAfterPercentile(t *testing.T) {
+	// Percentile sorts in place; adding afterwards must still work.
+	r := NewRecorder()
+	r.Add(3)
+	r.Add(1)
+	_ = r.Percentile(0.5)
+	r.Add(2)
+	if got := r.Percentile(1); got != 3 {
+		t.Fatalf("Percentile(1) = %v, want 3", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Fatalf("Percentile(0) = %v, want 1", got)
+	}
+}
+
+// Property: mean/max/min/percentile agree with direct computation on the
+// sample slice.
+func TestRecorderMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		sum := 0.0
+		for _, x := range clean {
+			r.Add(x)
+			sum += x
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		if r.Max() != sorted[len(sorted)-1] || r.Min() != sorted[0] {
+			return false
+		}
+		if math.Abs(r.Mean()-sum/float64(len(clean))) > 1e-9*(1+math.Abs(sum)) {
+			return false
+		}
+		return r.Percentile(0.5) == sorted[int(math.Ceil(0.5*float64(len(sorted))))-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMatchesRecorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewRecorder()
+	var w Welford
+	for i := 0; i < 10000; i++ {
+		x := rng.NormFloat64()*5 + 2
+		r.Add(x)
+		w.Add(x)
+	}
+	if math.Abs(r.Mean()-w.Mean()) > 1e-9 {
+		t.Fatalf("means differ: %v vs %v", r.Mean(), w.Mean())
+	}
+	if math.Abs(r.Stddev()-w.Stddev()) > 1e-9 {
+		t.Fatalf("stddevs differ: %v vs %v", r.Stddev(), w.Stddev())
+	}
+	if w.Count() != 10000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford should be zero")
+	}
+}

@@ -1,0 +1,342 @@
+// Package tcp implements a Reno-style TCP over the simulated network: slow
+// start, congestion avoidance, fast retransmit/recovery, and Jacobson/Karels
+// RTO estimation with Karn's rule. It exists because the paper's Table 3
+// adds "two datagram TCP connections" as the best-effort traffic that fills
+// whatever bandwidth the real-time classes leave over; only that qualitative
+// role — greedy, ACK-clocked, loss-responsive — matters here.
+//
+// Segments are counted in whole packets (one segment = one simulated packet),
+// which matches the paper's uniform 1000-bit packets.
+package tcp
+
+import (
+	"math"
+
+	"ispn/internal/packet"
+	"ispn/internal/sim"
+	"ispn/internal/topology"
+)
+
+// Segment is the transport header carried in packet.Packet.Payload.
+type Segment struct {
+	Seq   uint64 // segment number (data) — counts segments, not bytes
+	Ack   uint64 // next expected segment (cumulative)
+	IsAck bool
+}
+
+// Config parameterizes one TCP connection.
+type Config struct {
+	// DataFlowID identifies data segments; AckFlowID identifies the
+	// reverse ACK stream. They must be distinct and unused by other
+	// flows.
+	DataFlowID, AckFlowID uint32
+	// Path is the forward route (node names); ReversePath carries ACKs.
+	Path, ReversePath []string
+	// SegmentBits is the data packet size (default 1000, the paper's).
+	SegmentBits int
+	// AckBits is the ACK packet size (default 320 bits = 40 bytes).
+	AckBits int
+	// MaxCwnd caps the congestion window in segments (receiver window);
+	// default 64.
+	MaxCwnd float64
+	// MinRTO is the retransmit timer floor in seconds; default 200 ms.
+	MinRTO float64
+	// Priority is the datagram priority field (unused by the unified
+	// scheduler, which classifies datagram traffic by class).
+	Priority uint8
+}
+
+// Stats summarizes a connection's behaviour.
+type Stats struct {
+	SegmentsSent    int64 // data transmissions, including retransmits
+	Retransmits     int64
+	Timeouts        int64
+	FastRetransmits int64
+	Delivered       int64 // in-order segments consumed by the receiver
+	AcksReceived    int64
+}
+
+// Connection is a greedy (infinite-data) TCP sender plus its receiver.
+type Connection struct {
+	cfg Config
+	net *topology.Network
+	eng *sim.Engine
+
+	// Sender state.
+	sndUna  uint64  // lowest unacknowledged segment
+	sndNext uint64  // next segment to send
+	maxSent uint64  // highest segment ever transmitted + 1
+	cwnd    float64 // congestion window, segments
+	ssthr   float64
+	dupAcks int
+	inFR    bool
+	recover uint64
+
+	// RTT estimation (Jacobson/Karels).
+	srtt, rttvar, rto float64
+	timer             *sim.Event
+	sendTime          map[uint64]float64 // seq -> first transmission time
+	rexmitted         map[uint64]bool    // Karn: no RTT sample from these
+
+	// Receiver state.
+	rcvNext uint64
+	ooo     map[uint64]bool
+
+	stats   Stats
+	started bool
+}
+
+// NewConnection wires a connection into the network: routes for both
+// directions are installed and sinks registered. Call Start to begin.
+func NewConnection(net *topology.Network, cfg Config) *Connection {
+	if cfg.SegmentBits == 0 {
+		cfg.SegmentBits = 1000
+	}
+	if cfg.AckBits == 0 {
+		cfg.AckBits = 320
+	}
+	if cfg.MaxCwnd == 0 {
+		cfg.MaxCwnd = 64
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = 0.200
+	}
+	if len(cfg.Path) < 2 || len(cfg.ReversePath) < 2 {
+		panic("tcp: need forward and reverse paths")
+	}
+	if cfg.DataFlowID == cfg.AckFlowID {
+		panic("tcp: data and ack flow ids must differ")
+	}
+	c := &Connection{
+		cfg:       cfg,
+		net:       net,
+		eng:       net.Engine(),
+		cwnd:      1,
+		ssthr:     cfg.MaxCwnd,
+		rto:       1.0,
+		sendTime:  make(map[uint64]float64),
+		rexmitted: make(map[uint64]bool),
+		ooo:       make(map[uint64]bool),
+	}
+	net.InstallRoute(cfg.DataFlowID, cfg.Path)
+	net.InstallRoute(cfg.AckFlowID, cfg.ReversePath)
+	dst := net.Node(cfg.Path[len(cfg.Path)-1])
+	dst.SetSink(cfg.DataFlowID, c.onData)
+	src := net.Node(cfg.ReversePath[len(cfg.ReversePath)-1])
+	src.SetSink(cfg.AckFlowID, c.onAck)
+	return c
+}
+
+// Start begins transmitting.
+func (c *Connection) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.trySend()
+}
+
+// Stats returns a copy of the connection statistics.
+func (c *Connection) Stats() Stats { return c.stats }
+
+// Cwnd returns the current congestion window in segments.
+func (c *Connection) Cwnd() float64 { return c.cwnd }
+
+// RTO returns the current retransmission timeout.
+func (c *Connection) RTO() float64 { return c.rto }
+
+// Delivered returns in-order segments delivered to the receiving
+// application.
+func (c *Connection) Delivered() int64 { return c.stats.Delivered }
+
+// ThroughputBits returns goodput in bits over elapsed.
+func (c *Connection) ThroughputBits(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.stats.Delivered) * float64(c.cfg.SegmentBits) / elapsed
+}
+
+// --- sender ---
+
+func (c *Connection) trySend() {
+	for float64(c.sndNext-c.sndUna) < math.Min(c.cwnd, c.cfg.MaxCwnd) {
+		// After an RTO pulls sndNext back (go-back-N), resent
+		// segments are retransmissions for Karn's rule.
+		c.sendSegment(c.sndNext, c.sndNext < c.maxSent)
+		c.sndNext++
+		if c.sndNext > c.maxSent {
+			c.maxSent = c.sndNext
+		}
+	}
+}
+
+func (c *Connection) sendSegment(seq uint64, isRexmit bool) {
+	p := &packet.Packet{
+		FlowID:    c.cfg.DataFlowID,
+		Seq:       seq,
+		Size:      c.cfg.SegmentBits,
+		Class:     packet.Datagram,
+		Priority:  c.cfg.Priority,
+		CreatedAt: c.eng.Now(),
+		Payload:   &Segment{Seq: seq},
+	}
+	c.stats.SegmentsSent++
+	if isRexmit {
+		c.stats.Retransmits++
+		c.rexmitted[seq] = true
+	} else if _, seen := c.sendTime[seq]; !seen {
+		c.sendTime[seq] = c.eng.Now()
+	}
+	c.net.Inject(c.cfg.Path[0], p)
+	if c.timer == nil || c.timer.Cancelled() {
+		c.armTimer()
+	}
+}
+
+func (c *Connection) armTimer() {
+	if c.timer != nil {
+		c.eng.Cancel(c.timer)
+	}
+	c.timer = c.eng.Schedule(c.rto, c.onTimeout)
+}
+
+func (c *Connection) onTimeout() {
+	if c.sndUna == c.sndNext {
+		return // nothing outstanding
+	}
+	c.stats.Timeouts++
+	c.ssthr = math.Max(c.cwnd/2, 2)
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.inFR = false
+	c.rto = math.Min(c.rto*2, 60)
+	// Go back N: everything past the hole is presumed lost and will be
+	// resent as the window reopens; the receiver ACKs away duplicates.
+	c.sndNext = c.sndUna
+	c.trySend()
+	c.armTimer()
+}
+
+func (c *Connection) onAck(p *packet.Packet) {
+	seg, ok := p.Payload.(*Segment)
+	if !ok || !seg.IsAck {
+		return
+	}
+	c.stats.AcksReceived++
+	ack := seg.Ack
+	if ack > c.sndUna {
+		// New data acknowledged.
+		c.sampleRTT(ack)
+		acked := ack - c.sndUna
+		for s := c.sndUna; s < ack; s++ {
+			delete(c.sendTime, s)
+			delete(c.rexmitted, s)
+		}
+		c.sndUna = ack
+		if c.sndNext < ack {
+			c.sndNext = ack
+		}
+		c.dupAcks = 0
+		// New data acknowledged: clear any exponential backoff.
+		if c.srtt > 0 {
+			c.rto = math.Max(c.srtt+4*c.rttvar, c.cfg.MinRTO)
+		}
+		if c.inFR {
+			if ack >= c.recover {
+				// Full recovery: deflate.
+				c.cwnd = c.ssthr
+				c.inFR = false
+			} else {
+				// Partial ACK (NewReno-style): retransmit the
+				// next hole, keep the window.
+				c.sendSegment(c.sndUna, true)
+				c.cwnd = math.Max(c.cwnd-float64(acked)+1, 1)
+			}
+		} else if c.cwnd < c.ssthr {
+			c.cwnd += float64(acked) // slow start
+		} else {
+			c.cwnd += float64(acked) / c.cwnd // congestion avoidance
+		}
+		if c.sndUna == c.sndNext {
+			if c.timer != nil {
+				c.eng.Cancel(c.timer)
+			}
+		} else {
+			c.armTimer()
+		}
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	c.dupAcks++
+	if c.inFR {
+		c.cwnd++ // window inflation
+		c.trySend()
+		return
+	}
+	if c.dupAcks == 3 && c.sndUna < c.sndNext {
+		c.stats.FastRetransmits++
+		c.ssthr = math.Max(c.cwnd/2, 2)
+		c.cwnd = c.ssthr + 3
+		c.inFR = true
+		c.recover = c.sndNext
+		c.sendSegment(c.sndUna, true)
+	}
+}
+
+func (c *Connection) sampleRTT(ack uint64) {
+	// Karn's rule: only time segments never retransmitted; use the
+	// oldest segment being cumulatively acknowledged.
+	seq := c.sndUna
+	if c.rexmitted[seq] {
+		return
+	}
+	t0, ok := c.sendTime[seq]
+	if !ok {
+		return
+	}
+	m := c.eng.Now() - t0
+	if c.srtt == 0 {
+		c.srtt = m
+		c.rttvar = m / 2
+	} else {
+		d := m - c.srtt
+		c.srtt += d / 8
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar += (d - c.rttvar) / 4
+	}
+	c.rto = math.Max(c.srtt+4*c.rttvar, c.cfg.MinRTO)
+}
+
+// --- receiver ---
+
+func (c *Connection) onData(p *packet.Packet) {
+	seg, ok := p.Payload.(*Segment)
+	if !ok || seg.IsAck {
+		return
+	}
+	if seg.Seq == c.rcvNext {
+		c.rcvNext++
+		c.stats.Delivered++
+		for c.ooo[c.rcvNext] {
+			delete(c.ooo, c.rcvNext)
+			c.rcvNext++
+			c.stats.Delivered++
+		}
+	} else if seg.Seq > c.rcvNext {
+		c.ooo[seg.Seq] = true
+	}
+	// Immediate cumulative ACK.
+	ackPkt := &packet.Packet{
+		FlowID:    c.cfg.AckFlowID,
+		Seq:       seg.Seq,
+		Size:      c.cfg.AckBits,
+		Class:     packet.Datagram,
+		CreatedAt: c.eng.Now(),
+		Payload:   &Segment{Ack: c.rcvNext, IsAck: true},
+	}
+	c.net.Inject(c.cfg.ReversePath[0], ackPkt)
+}

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+)
+
+// The port must wake itself up when its scheduler is non-work-conserving:
+// a held packet would otherwise strand forever because nothing new arrives
+// to trigger transmission.
+func TestPortWakesUpForHeldPackets(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	n.AddNode("B")
+	n.AddLink("A", "B", sched.NewRegulator(sched.NewFIFO()), 1e6, 0)
+	n.InstallRoute(1, []string{"A", "B"})
+	var deliveredAt float64 = -1
+	n.Node("B").SetSink(1, func(p *packet.Packet) { deliveredAt = eng.Now() })
+
+	p := &packet.Packet{FlowID: 1, Size: 1000, CreatedAt: 0, JitterOffset: -0.050}
+	n.Inject("A", p) // 50 ms early: held until t=0.050
+	eng.Run()
+	if deliveredAt < 0 {
+		t.Fatal("held packet never delivered: port did not wake up")
+	}
+	want := 0.050 + 0.001 // release + transmission
+	if math.Abs(deliveredAt-want) > 1e-9 {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestPortRegulatorInterleavesHeldAndFresh(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	n.AddNode("B")
+	n.AddLink("A", "B", sched.NewRegulator(sched.NewFIFO()), 1e6, 0)
+	n.InstallRoute(1, []string{"A", "B"})
+	var got []uint64
+	n.Node("B").SetSink(1, func(p *packet.Packet) { got = append(got, p.Seq) })
+
+	early := &packet.Packet{FlowID: 1, Seq: 1, Size: 1000, JitterOffset: -0.030}
+	n.Inject("A", early) // held until 0.030
+	eng.Schedule(0.010, func() {
+		onTime := &packet.Packet{FlowID: 1, Seq: 2, Size: 1000}
+		n.Inject("A", onTime) // transmits immediately
+	})
+	eng.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("delivery order %v, want [2 1] (on-time passes the held one)", got)
+	}
+}
+
+func TestPortRetryNotArmedForWorkConserving(t *testing.T) {
+	// A plain FIFO port with an empty queue must not leave stray events.
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	n.AddNode("B")
+	n.AddLink("A", "B", sched.NewFIFO(), 1e6, 0)
+	n.InstallRoute(1, []string{"A", "B"})
+	n.Node("B").SetSink(1, func(p *packet.Packet) {})
+	n.Inject("A", &packet.Packet{FlowID: 1, Size: 1000})
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d stray events pending", eng.Pending())
+	}
+}

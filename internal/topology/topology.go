@@ -1,0 +1,370 @@
+// Package topology models the simulated packet network: switches connected
+// by directed links, each outgoing link fronted by an output port that owns a
+// scheduler and a finite packet buffer (the paper's switches buffer 200
+// packets). Hosts attach over infinitely fast links, so traffic sources
+// inject directly at their first switch and flows terminate at per-flow
+// sinks on their last switch.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+	"ispn/internal/stats"
+)
+
+// DefaultBufferPackets is the paper's switch buffer size.
+const DefaultBufferPackets = 200
+
+// Sink consumes a packet that has reached its final switch.
+type Sink func(p *packet.Packet)
+
+// Network is a collection of nodes and directed links driven by one engine.
+type Network struct {
+	eng   *sim.Engine
+	nodes map[string]*Node
+	order []*Node // deterministic iteration
+}
+
+// NewNetwork returns an empty network on the given engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng, nodes: make(map[string]*Node)}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddNode creates a node (switch). It panics on duplicate names.
+func (n *Network) AddNode(name string) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate node %q", name))
+	}
+	nd := &Node{
+		name:  name,
+		net:   n,
+		ports: make(map[string]*Port),
+		next:  make(map[uint32]*Port),
+		sinks: make(map[uint32]Sink),
+	}
+	n.nodes[name] = nd
+	n.order = append(n.order, nd)
+	return nd
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.order }
+
+// AddLink creates a directed link from -> to with the given scheduler,
+// bandwidth (bits/s) and propagation delay (seconds), and returns its output
+// port at the sending node.
+func (n *Network) AddLink(from, to string, s sched.Scheduler, bandwidth, propDelay float64) *Port {
+	src, ok := n.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("topology: unknown node %q", from))
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("topology: unknown node %q", to))
+	}
+	if _, dup := src.ports[to]; dup {
+		panic(fmt.Sprintf("topology: duplicate link %s->%s", from, to))
+	}
+	if bandwidth <= 0 {
+		panic("topology: bandwidth must be positive")
+	}
+	p := &Port{
+		name:      from + "->" + to,
+		node:      src,
+		dst:       dst,
+		sched:     s,
+		bandwidth: bandwidth,
+		propDelay: propDelay,
+		limit:     DefaultBufferPackets,
+		util:      stats.NewRateMeter(1.0, 60),
+	}
+	src.ports[to] = p
+	src.portOrder = append(src.portOrder, p)
+	return p
+}
+
+// InstallRoute installs the path (a list of node names, first = ingress) for
+// a flow: each node forwards to the next, and the last node delivers to the
+// flow's sink. Every consecutive pair must be linked.
+func (n *Network) InstallRoute(flowID uint32, path []string) {
+	if len(path) == 0 {
+		panic("topology: empty route")
+	}
+	for i := 0; i < len(path)-1; i++ {
+		nd, ok := n.nodes[path[i]]
+		if !ok {
+			panic(fmt.Sprintf("topology: unknown node %q in route", path[i]))
+		}
+		port, ok := nd.ports[path[i+1]]
+		if !ok {
+			panic(fmt.Sprintf("topology: no link %s->%s for route", path[i], path[i+1]))
+		}
+		nd.next[flowID] = port
+	}
+	// Terminal node: ensure no stale onward route.
+	last := n.nodes[path[len(path)-1]]
+	if last == nil {
+		panic(fmt.Sprintf("topology: unknown node %q in route", path[len(path)-1]))
+	}
+	delete(last.next, flowID)
+}
+
+// PathPorts returns the output ports along a path, in order.
+func (n *Network) PathPorts(path []string) []*Port {
+	var ports []*Port
+	for i := 0; i < len(path)-1; i++ {
+		nd := n.nodes[path[i]]
+		if nd == nil {
+			panic(fmt.Sprintf("topology: unknown node %q", path[i]))
+		}
+		p := nd.ports[path[i+1]]
+		if p == nil {
+			panic(fmt.Sprintf("topology: no link %s->%s", path[i], path[i+1]))
+		}
+		ports = append(ports, p)
+	}
+	return ports
+}
+
+// FixedDelay returns the constant (non-queueing) delay a packet of sizeBits
+// experiences along path: per-hop store-and-forward transmission plus
+// propagation. Queueing delay of a delivered packet is total delay minus
+// this.
+func (n *Network) FixedDelay(path []string, sizeBits int) float64 {
+	fixed := 0.0
+	for _, p := range n.PathPorts(path) {
+		fixed += float64(sizeBits)/p.bandwidth + p.propDelay
+	}
+	return fixed
+}
+
+// Inject introduces a packet at the named node (the host-to-switch link is
+// infinitely fast in the paper's model).
+func (n *Network) Inject(node string, p *packet.Packet) {
+	nd, ok := n.nodes[node]
+	if !ok {
+		panic(fmt.Sprintf("topology: inject at unknown node %q", node))
+	}
+	nd.receive(p)
+}
+
+// Node is a switch.
+type Node struct {
+	name      string
+	net       *Network
+	ports     map[string]*Port
+	portOrder []*Port
+	next      map[uint32]*Port // flow id -> output port
+	sinks     map[uint32]Sink
+	defSink   Sink
+}
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Port returns the output port toward the named neighbor, or nil.
+func (nd *Node) Port(to string) *Port { return nd.ports[to] }
+
+// Ports returns the node's output ports in creation order.
+func (nd *Node) Ports() []*Port { return nd.portOrder }
+
+// SetSink registers the consumer for a flow terminating at this node.
+func (nd *Node) SetSink(flowID uint32, s Sink) { nd.sinks[flowID] = s }
+
+// SetDefaultSink registers a consumer for packets with no onward route and
+// no per-flow sink.
+func (nd *Node) SetDefaultSink(s Sink) { nd.defSink = s }
+
+// receive routes or delivers a packet arriving at this node.
+func (nd *Node) receive(p *packet.Packet) {
+	if port, ok := nd.next[p.FlowID]; ok {
+		port.enqueue(p)
+		return
+	}
+	if s, ok := nd.sinks[p.FlowID]; ok {
+		s(p)
+		return
+	}
+	if nd.defSink != nil {
+		nd.defSink(p)
+		return
+	}
+	panic(fmt.Sprintf("topology: packet for flow %d stranded at %s", p.FlowID, nd.name))
+}
+
+// Port is the output side of a directed link: a scheduler, a buffer limit
+// and a transmitter.
+type Port struct {
+	name       string
+	node       *Node
+	dst        *Node
+	sched      sched.Scheduler
+	bandwidth  float64
+	propDelay  float64
+	limit      int
+	busy       bool
+	retryArmed bool // a wake-up is scheduled for a non-work-conserving scheduler
+
+	// DiscardOffset, if positive, drops packets whose accumulated
+	// jitter offset exceeds it at dequeue time — the Section 10 "late
+	// packets should be discarded internally" service, driven by the
+	// FIFO+ header field.
+	DiscardOffset float64
+
+	// OnTransmit, if set, is called when a packet begins transmission —
+	// the measurement hook admission control and per-class accounting
+	// attach to.
+	OnTransmit func(p *packet.Packet, now float64)
+
+	counter      stats.Counter // enqueue attempts / buffer drops
+	dropsByClass [3]int64      // buffer drops per service class
+	lenByClass   [3]int        // current occupancy per service class
+	discarded    int64         // late discards (DiscardOffset)
+	txBits       int64
+	util         *stats.RateMeter
+}
+
+// Name returns "from->to".
+func (pt *Port) Name() string { return pt.name }
+
+// Scheduler returns the port's scheduler.
+func (pt *Port) Scheduler() sched.Scheduler { return pt.sched }
+
+// Bandwidth returns the link rate in bits/second.
+func (pt *Port) Bandwidth() float64 { return pt.bandwidth }
+
+// SetBufferLimit overrides the buffer size in packets.
+func (pt *Port) SetBufferLimit(n int) { pt.limit = n }
+
+// Counter returns enqueue/drop counts.
+func (pt *Port) Counter() stats.Counter { return pt.counter }
+
+// DropsByClass returns buffer drops for the given service class.
+func (pt *Port) DropsByClass(c packet.Class) int64 {
+	if int(c) >= len(pt.dropsByClass) {
+		return 0
+	}
+	return pt.dropsByClass[c]
+}
+
+// Discarded returns the number of late discards (DiscardOffset policy).
+func (pt *Port) Discarded() int64 { return pt.discarded }
+
+// Utilization returns the fraction of link capacity used over the recent
+// measurement windows.
+func (pt *Port) Utilization(now float64) float64 {
+	return pt.util.Rate(now) / pt.bandwidth
+}
+
+// TotalUtilization returns lifetime transmitted bits divided by capacity
+// over elapsed time.
+func (pt *Port) TotalUtilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(pt.txBits) / (pt.bandwidth * now)
+}
+
+func (pt *Port) enqueue(p *packet.Packet) {
+	now := pt.node.net.eng.Now()
+	pt.counter.Total++
+	// Buffer admission is class-aware: a guaranteed packet is refused
+	// only when the guaranteed class itself fills the buffer. Without
+	// this, a best-effort or predicted flood would break the guaranteed
+	// service commitment at the buffer even though WFQ protects it at
+	// the scheduler (conforming guaranteed flows occupy little buffer,
+	// so the soft total limit is at most briefly exceeded).
+	full := pt.sched.Len() >= pt.limit
+	if p.Class == packet.Guaranteed {
+		full = pt.lenByClass[packet.Guaranteed] >= pt.limit
+	}
+	if full {
+		pt.counter.Dropped++
+		if int(p.Class) < len(pt.dropsByClass) {
+			pt.dropsByClass[p.Class]++
+		}
+		return
+	}
+	if int(p.Class) < len(pt.lenByClass) {
+		pt.lenByClass[p.Class]++
+	}
+	p.ArrivedAt = now
+	pt.sched.Enqueue(p, now)
+	if !pt.busy {
+		pt.transmitNext()
+	}
+}
+
+// scheduleRetry arms a wake-up for schedulers that hold packets (see
+// sched.NonWorkConserving): the scheduler is non-empty but nothing is
+// eligible yet.
+func (pt *Port) scheduleRetry(now float64) {
+	if pt.retryArmed || pt.sched.Len() == 0 {
+		return
+	}
+	nwc, ok := pt.sched.(sched.NonWorkConserving)
+	if !ok {
+		return
+	}
+	t := nwc.NextEligible(now)
+	if math.IsInf(t, 1) {
+		return
+	}
+	pt.retryArmed = true
+	pt.node.net.eng.At(t, func() {
+		pt.retryArmed = false
+		if !pt.busy {
+			pt.transmitNext()
+		}
+	})
+}
+
+func (pt *Port) transmitNext() {
+	eng := pt.node.net.eng
+	now := eng.Now()
+	var p *packet.Packet
+	for {
+		p = pt.sched.Dequeue(now)
+		if p == nil {
+			pt.busy = false
+			pt.scheduleRetry(now)
+			return
+		}
+		if int(p.Class) < len(pt.lenByClass) {
+			pt.lenByClass[p.Class]--
+		}
+		if pt.DiscardOffset > 0 && p.JitterOffset > pt.DiscardOffset {
+			pt.discarded++
+			continue
+		}
+		break
+	}
+	pt.busy = true
+	tx := float64(p.Size) / pt.bandwidth
+	pt.txBits += int64(p.Size)
+	pt.util.Add(now, float64(p.Size))
+	if pt.OnTransmit != nil {
+		pt.OnTransmit(p, now)
+	}
+	eng.Schedule(tx, func() {
+		p.Hops++
+		prop := pt.propDelay
+		dst := pt.dst
+		if prop > 0 {
+			eng.Schedule(prop, func() { dst.receive(p) })
+		} else {
+			dst.receive(p)
+		}
+		pt.transmitNext()
+	})
+}

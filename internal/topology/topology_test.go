@@ -1,0 +1,268 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"ispn/internal/packet"
+	"ispn/internal/sched"
+	"ispn/internal/sim"
+)
+
+// buildChain makes S1 -> S2 -> ... -> Sk with FIFO ports at 1 Mbit/s.
+func buildChain(eng *sim.Engine, k int, prop float64) *Network {
+	n := NewNetwork(eng)
+	for i := 1; i <= k; i++ {
+		n.AddNode(nodeName(i))
+	}
+	for i := 1; i < k; i++ {
+		n.AddLink(nodeName(i), nodeName(i+1), sched.NewFIFO(), 1e6, prop)
+	}
+	return n
+}
+
+func nodeName(i int) string { return "S" + string(rune('0'+i)) }
+
+func mk(flow uint32, seq uint64) *packet.Packet {
+	return &packet.Packet{FlowID: flow, Seq: seq, Size: 1000, CreatedAt: 0}
+}
+
+func TestSingleHopDelivery(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	n.InstallRoute(1, []string{"S1", "S2"})
+	var got []*packet.Packet
+	var at []float64
+	n.Node("S2").SetSink(1, func(p *packet.Packet) {
+		got = append(got, p)
+		at = append(at, eng.Now())
+	})
+	n.Inject("S1", mk(1, 0))
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	// 1000 bits on 1 Mbit/s = 1 ms.
+	if math.Abs(at[0]-0.001) > 1e-12 {
+		t.Fatalf("delivery at %v, want 0.001", at[0])
+	}
+	if got[0].Hops != 1 {
+		t.Fatalf("Hops = %d, want 1", got[0].Hops)
+	}
+}
+
+func TestMultiHopFixedDelay(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 5, 0.002)
+	path := []string{"S1", "S2", "S3", "S4", "S5"}
+	n.InstallRoute(1, path)
+	var at float64
+	n.Node("S5").SetSink(1, func(p *packet.Packet) { at = eng.Now() })
+	n.Inject("S1", mk(1, 0))
+	eng.Run()
+	want := n.FixedDelay(path, 1000) // 4*(1ms + 2ms) = 12ms
+	if math.Abs(want-0.012) > 1e-12 {
+		t.Fatalf("FixedDelay = %v, want 0.012", want)
+	}
+	if math.Abs(at-want) > 1e-12 {
+		t.Fatalf("uncongested delivery at %v, want %v (fixed delay only)", at, want)
+	}
+}
+
+func TestQueueingDelayUnderContention(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	n.InstallRoute(1, []string{"S1", "S2"})
+	var deliveries []float64
+	n.Node("S2").SetSink(1, func(p *packet.Packet) { deliveries = append(deliveries, eng.Now()) })
+	// 5 packets at t=0: each takes 1ms back-to-back.
+	for i := 0; i < 5; i++ {
+		n.Inject("S1", mk(1, uint64(i)))
+	}
+	eng.Run()
+	for i, at := range deliveries {
+		want := float64(i+1) * 0.001
+		if math.Abs(at-want) > 1e-12 {
+			t.Fatalf("delivery %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	port := n.Node("S1").Port("S2")
+	port.SetBufferLimit(10)
+	n.InstallRoute(1, []string{"S1", "S2"})
+	count := 0
+	n.Node("S2").SetSink(1, func(p *packet.Packet) { count++ })
+	// 1 in flight + 10 buffered = 11 accepted.
+	for i := 0; i < 50; i++ {
+		n.Inject("S1", mk(1, uint64(i)))
+	}
+	eng.Run()
+	if count != 11 {
+		t.Fatalf("delivered %d, want 11 (1 transmitting + 10 buffered)", count)
+	}
+	c := port.Counter()
+	if c.Dropped != 39 || c.Total != 50 {
+		t.Fatalf("counter = %+v, want 39/50 dropped", c)
+	}
+}
+
+func TestRouteChangeTerminalNode(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 3, 0)
+	n.InstallRoute(1, []string{"S1", "S2", "S3"})
+	// Re-route the flow to terminate at S2.
+	n.InstallRoute(1, []string{"S1", "S2"})
+	got := 0
+	n.Node("S2").SetSink(1, func(p *packet.Packet) { got++ })
+	n.Inject("S1", mk(1, 0))
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d at S2, want 1", got)
+	}
+}
+
+func TestDefaultSink(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	n.InstallRoute(5, []string{"S1", "S2"})
+	got := 0
+	n.Node("S2").SetDefaultSink(func(p *packet.Packet) { got++ })
+	n.Inject("S1", mk(5, 0))
+	eng.Run()
+	if got != 1 {
+		t.Fatal("default sink not used")
+	}
+}
+
+func TestStrandedPacketPanics(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stranded packet did not panic")
+		}
+	}()
+	n.Inject("S1", mk(9, 0)) // no route, no sink
+}
+
+func TestUtilizationMeter(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	n.InstallRoute(1, []string{"S1", "S2"})
+	n.Node("S2").SetSink(1, func(p *packet.Packet) {})
+	// Inject 500 packets spaced exactly at service rate: 100% for 0.5s.
+	for i := 0; i < 500; i++ {
+		i := i
+		eng.Schedule(float64(i)*0.001, func() { n.Inject("S1", mk(1, uint64(i))) })
+	}
+	eng.Run()
+	port := n.Node("S1").Port("S2")
+	if u := port.TotalUtilization(0.5); math.Abs(u-1.0) > 0.01 {
+		t.Fatalf("TotalUtilization = %v, want ~1", u)
+	}
+	if u := port.Utilization(0.5); u < 0.9 {
+		t.Fatalf("windowed Utilization = %v, want ~1", u)
+	}
+}
+
+func TestDiscardOffsetDropsLatePackets(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 2, 0)
+	port := n.Node("S1").Port("S2")
+	port.DiscardOffset = 0.010
+	n.InstallRoute(1, []string{"S1", "S2"})
+	got := 0
+	n.Node("S2").SetSink(1, func(p *packet.Packet) { got++ })
+	late := mk(1, 0)
+	late.JitterOffset = 0.050 // very late per the FIFO+ header field
+	ok := mk(1, 1)
+	n.Inject("S1", late)
+	n.Inject("S1", ok)
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1 (late packet discarded)", got)
+	}
+	if port.Discarded() != 1 {
+		t.Fatalf("Discarded = %d, want 1", port.Discarded())
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	n.AddNode("A")
+}
+
+func TestDuplicateLinkPanics(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	n.AddNode("B")
+	n.AddLink("A", "B", sched.NewFIFO(), 1e6, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate link did not panic")
+		}
+	}()
+	n.AddLink("A", "B", sched.NewFIFO(), 1e6, 0)
+}
+
+func TestRouteValidation(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 3, 0)
+	for _, path := range [][]string{
+		{},
+		{"S1", "S9"},
+		{"S1", "S3"}, // no direct link
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("route %v did not panic", path)
+				}
+			}()
+			n.InstallRoute(1, path)
+		}()
+	}
+}
+
+func TestPathPortsAndNodes(t *testing.T) {
+	eng := sim.New()
+	n := buildChain(eng, 3, 0)
+	ports := n.PathPorts([]string{"S1", "S2", "S3"})
+	if len(ports) != 2 || ports[0].Name() != "S1->S2" || ports[1].Name() != "S2->S3" {
+		t.Fatalf("PathPorts = %v", ports)
+	}
+	if len(n.Nodes()) != 3 {
+		t.Fatalf("Nodes = %d, want 3", len(n.Nodes()))
+	}
+	if len(n.Node("S1").Ports()) != 1 {
+		t.Fatal("S1 should have one port")
+	}
+	if n.Node("nope") != nil {
+		t.Fatal("unknown node should be nil")
+	}
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng)
+	n.AddNode("A")
+	n.AddNode("B")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	n.AddLink("A", "B", sched.NewFIFO(), 0, 0)
+}

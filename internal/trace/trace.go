@@ -1,0 +1,242 @@
+// Package trace records per-packet events of a simulation run into a
+// compact binary stream and reads them back for offline analysis. A trace
+// makes runs auditable: the exact arrival process that produced a delay
+// spike can be replayed through a different scheduler via source replay.
+//
+// Wire format: a 16-byte file header ("ISPNTRC1", record count, reserved),
+// then fixed 34-byte records, big-endian:
+//
+//	offset size field
+//	0      1    event kind
+//	1      1    service class
+//	2      4    flow id
+//	6      8    sequence number
+//	14     8    time, nanoseconds
+//	22     8    delay, nanoseconds (Deliver events; else 0)
+//	30     4    size, bits
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ispn/internal/packet"
+)
+
+// Kind is the event type of a record.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Inject marks a packet entering the network at its first switch.
+	Inject Kind = iota + 1
+	// Deliver marks a packet reaching its sink; Delay holds its
+	// end-to-end queueing delay.
+	Deliver
+	// Drop marks a packet lost to a full buffer or policing.
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one record.
+type Event struct {
+	Kind  Kind
+	Class packet.Class
+	Flow  uint32
+	Seq   uint64
+	Time  float64 // seconds
+	Delay float64 // seconds; only meaningful for Deliver
+	Size  int     // bits
+}
+
+const (
+	magic     = "ISPNTRC1"
+	headerLen = 16
+	recordLen = 34
+)
+
+// Format errors.
+var (
+	ErrBadMagic  = errors.New("trace: bad magic")
+	ErrTruncated = errors.New("trace: truncated stream")
+)
+
+// Writer streams events to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	place io.WriteSeeker // non-nil when the count can be back-patched
+}
+
+// NewWriter starts a trace on w. If w is also an io.WriteSeeker the record
+// count is patched into the header on Close; otherwise the header records
+// zero and readers rely on EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.place = ws
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], magic)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Add appends one event.
+func (tw *Writer) Add(e Event) error {
+	var rec [recordLen]byte
+	rec[0] = byte(e.Kind)
+	rec[1] = byte(e.Class)
+	binary.BigEndian.PutUint32(rec[2:], e.Flow)
+	binary.BigEndian.PutUint64(rec[6:], e.Seq)
+	binary.BigEndian.PutUint64(rec[14:], uint64(int64(e.Time*1e9)))
+	binary.BigEndian.PutUint64(rec[22:], uint64(int64(e.Delay*1e9)))
+	binary.BigEndian.PutUint32(rec[30:], uint32(e.Size))
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Close flushes and, when possible, back-patches the record count.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return err
+	}
+	if tw.place != nil {
+		if _, err := tw.place.Seek(8, io.SeekStart); err != nil {
+			return err
+		}
+		var cnt [8]byte
+		binary.BigEndian.PutUint64(cnt[:], tw.n)
+		if _, err := tw.place.Write(cnt[:]); err != nil {
+			return err
+		}
+		if _, err := tw.place.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader iterates a trace stream.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // from header; 0 means unknown
+	read  uint64
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br, count: binary.BigEndian.Uint64(hdr[8:])}, nil
+}
+
+// DeclaredCount returns the header's record count (0 if the writer could
+// not seek).
+func (tr *Reader) DeclaredCount() uint64 { return tr.count }
+
+// Next returns the next event, or io.EOF at the end of the stream.
+func (tr *Reader) Next() (Event, error) {
+	var rec [recordLen]byte
+	if _, err := io.ReadFull(tr.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	tr.read++
+	return Event{
+		Kind:  Kind(rec[0]),
+		Class: packet.Class(rec[1]),
+		Flow:  binary.BigEndian.Uint32(rec[2:]),
+		Seq:   binary.BigEndian.Uint64(rec[6:]),
+		Time:  float64(int64(binary.BigEndian.Uint64(rec[14:]))) / 1e9,
+		Delay: float64(int64(binary.BigEndian.Uint64(rec[22:]))) / 1e9,
+		Size:  int(binary.BigEndian.Uint32(rec[30:])),
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (tr *Reader) ReadAll() ([]Event, error) {
+	var out []Event
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates a trace per flow.
+type Summary struct {
+	Injected  map[uint32]int64
+	Delivered map[uint32]int64
+	Dropped   map[uint32]int64
+	MeanDelay map[uint32]float64
+	MaxDelay  map[uint32]float64
+}
+
+// Summarize scans events into per-flow counts and delay moments.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		Injected:  map[uint32]int64{},
+		Delivered: map[uint32]int64{},
+		Dropped:   map[uint32]int64{},
+		MeanDelay: map[uint32]float64{},
+		MaxDelay:  map[uint32]float64{},
+	}
+	sum := map[uint32]float64{}
+	for _, e := range events {
+		switch e.Kind {
+		case Inject:
+			s.Injected[e.Flow]++
+		case Deliver:
+			s.Delivered[e.Flow]++
+			sum[e.Flow] += e.Delay
+			if e.Delay > s.MaxDelay[e.Flow] {
+				s.MaxDelay[e.Flow] = e.Delay
+			}
+		case Drop:
+			s.Dropped[e.Flow]++
+		}
+	}
+	for f, n := range s.Delivered {
+		if n > 0 {
+			s.MeanDelay[f] = sum[f] / float64(n)
+		}
+	}
+	return s
+}

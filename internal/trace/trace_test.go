@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"ispn/internal/packet"
+)
+
+func TestRoundTripBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Event{
+		{Kind: Inject, Class: packet.Predicted, Flow: 1, Seq: 0, Time: 0.001, Size: 1000},
+		{Kind: Deliver, Class: packet.Predicted, Flow: 1, Seq: 0, Time: 0.004, Delay: 0.002, Size: 1000},
+		{Kind: Drop, Class: packet.Datagram, Flow: 9, Seq: 77, Time: 1.5, Size: 320},
+	}
+	for _, e := range in {
+		if err := w.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind || out[i].Class != in[i].Class ||
+			out[i].Flow != in[i].Flow || out[i].Seq != in[i].Seq || out[i].Size != in[i].Size {
+			t.Fatalf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		if math.Abs(out[i].Time-in[i].Time) > 1e-9 || math.Abs(out[i].Delay-in[i].Delay) > 1e-9 {
+			t.Fatalf("event %d times: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFileBackPatchesCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Add(Event{Kind: Inject, Flow: 1, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeclaredCount() != 5 {
+		t.Fatalf("DeclaredCount = %d, want 5", r.DeclaredCount())
+	}
+	evs, err := r.ReadAll()
+	if err != nil || len(evs) != 5 {
+		t.Fatalf("ReadAll = %d events, err %v", len(evs), err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(append([]byte("NOTATRCE"), make([]byte, 8)...))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("ISPN"))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Add(Event{Kind: Inject, Flow: 1})
+	w.Close()
+	// Chop the last record in half.
+	data := buf.Bytes()[:len(buf.Bytes())-10]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Close()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kinds []uint8, flows []uint32, times []uint32) bool {
+		n := len(kinds)
+		if len(flows) < n {
+			n = len(flows)
+		}
+		if len(times) < n {
+			n = len(times)
+		}
+		var in []Event
+		for i := 0; i < n; i++ {
+			in = append(in, Event{
+				Kind:  Kind(kinds[i]%3 + 1),
+				Class: packet.Class(kinds[i] % 3),
+				Flow:  flows[i],
+				Seq:   uint64(i),
+				Time:  float64(times[i]) / 1000,
+				Delay: float64(times[i]%97) / 1e6,
+				Size:  1000,
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range in {
+			if w.Add(e) != nil {
+				return false
+			}
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		out, err := r.ReadAll()
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Kind != in[i].Kind || out[i].Flow != in[i].Flow ||
+				out[i].Seq != in[i].Seq ||
+				math.Abs(out[i].Time-in[i].Time) > 1e-9 ||
+				math.Abs(out[i].Delay-in[i].Delay) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: Inject, Flow: 1},
+		{Kind: Inject, Flow: 1},
+		{Kind: Inject, Flow: 2},
+		{Kind: Deliver, Flow: 1, Delay: 0.010},
+		{Kind: Deliver, Flow: 1, Delay: 0.030},
+		{Kind: Drop, Flow: 2},
+	}
+	s := Summarize(events)
+	if s.Injected[1] != 2 || s.Injected[2] != 1 {
+		t.Fatalf("Injected = %v", s.Injected)
+	}
+	if s.Delivered[1] != 2 || s.Dropped[2] != 1 {
+		t.Fatalf("Delivered/Dropped = %v/%v", s.Delivered, s.Dropped)
+	}
+	if math.Abs(s.MeanDelay[1]-0.020) > 1e-12 {
+		t.Fatalf("MeanDelay = %v", s.MeanDelay[1])
+	}
+	if math.Abs(s.MaxDelay[1]-0.030) > 1e-12 {
+		t.Fatalf("MaxDelay = %v", s.MaxDelay[1])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inject.String() != "inject" || Deliver.String() != "deliver" ||
+		Drop.String() != "drop" || Kind(9).String() != "kind(9)" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func BenchmarkWriterAdd(b *testing.B) {
+	w, _ := NewWriter(io.Discard)
+	e := Event{Kind: Deliver, Class: packet.Predicted, Flow: 3, Seq: 1, Time: 1.5, Delay: 0.004, Size: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
