@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration benchmark smoke run: catches harness regressions (and the
+# zero-alloc steady state via -benchmem) without the cost of full timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork' -benchtime 1x -benchmem .
+
+# Full benchmark suite over every table/figure/ablation.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

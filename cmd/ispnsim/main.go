@@ -44,11 +44,15 @@ flags:
 func main() {
 	duration := flag.Float64("duration", 600, "simulated seconds per run (paper: 600)")
 	seed := flag.Int64("seed", 1992, "random seed")
+	parallel := flag.Int("parallel", 0, "worker count for independent sub-simulations (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *parallel > 0 {
+		experiments.SetParallelism(*parallel)
 	}
 	cfg := experiments.RunConfig{Duration: *duration, Seed: *seed}
 

@@ -1,0 +1,3 @@
+module ispn
+
+go 1.24

@@ -119,6 +119,11 @@ func New(cfg Config) *Network {
 // Engine exposes the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
+// Pool exposes the per-engine packet free list (see packet.Pool for the
+// ownership rules). Attach it to sources so steady-state runs allocate no
+// packets.
+func (n *Network) Pool() *packet.Pool { return n.topo.Pool() }
+
 // Topology exposes the underlying topology.
 func (n *Network) Topology() *topology.Network { return n.topo }
 
@@ -170,6 +175,7 @@ type Flow struct {
 	Priority uint8
 
 	net        *Network
+	ingress    *topology.Node // resolved first switch, per-packet fast path
 	fixedDelay float64
 	policer    *tokenbucket.Bucket
 	policerCnt stats.Counter
@@ -209,20 +215,22 @@ func (f *Flow) Inject(p *packet.Packet) bool {
 		f.policerCnt.Total++
 		if !f.policer.Take(now, float64(p.Size)) {
 			// The paper drops or tags nonconforming packets at the
-			// first switch; we drop.
+			// first switch; we drop (and recycle).
 			f.policerCnt.Dropped++
+			packet.Release(p)
 			return false
 		}
 	}
 	p.FlowID = f.ID
 	p.Class = f.Class
 	p.Priority = f.Priority
-	f.net.topo.Inject(f.Path[0], p)
+	f.ingress.Inject(p)
 	return true
 }
 
 func (n *Network) registerFlow(f *Flow) {
 	n.topo.InstallRoute(f.ID, f.Path)
+	f.ingress = n.topo.Node(f.Path[0])
 	f.fixedDelay = n.topo.FixedDelay(f.Path, n.cfg.MaxPacketBits)
 	f.meter = stats.NewRecorder()
 	last := n.topo.Node(f.Path[len(f.Path)-1])

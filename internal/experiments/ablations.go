@@ -29,8 +29,10 @@ func AblationIsolation(cfg RunConfig) []IsolationRow {
 	cfg.fill()
 	flows := SingleLinkFlows(10)
 	nodes := []string{"A", "B"}
-	var rows []IsolationRow
-	for _, d := range []Discipline{DiscWFQ, DiscFIFO} {
+	ds := []Discipline{DiscWFQ, DiscFIFO}
+	rows := make([]IsolationRow, len(ds))
+	ForEach(len(ds), func(di int) {
+		d := ds[di]
 		eng := sim.New()
 		topo := topology.NewNetwork(eng)
 		for _, n := range nodes {
@@ -60,19 +62,21 @@ func AblationIsolation(cfg RunConfig) []IsolationRow {
 				PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: burst,
 				RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("iso-%d", f.ID)),
 			}), AvgRate, BucketSize)
-			src.Start(eng, func(p *packet.Packet) { topo.Inject("A", p) })
+			source.AttachPool(src, topo.Pool())
+			ingress := topo.Node("A")
+			src.Start(eng, func(p *packet.Packet) { ingress.Inject(p) })
 		}
 		eng.RunUntil(cfg.Duration)
 		others := newMergedRecorder()
 		for _, f := range flows[1:] {
 			others.absorb(rec[f.ID])
 		}
-		rows = append(rows, IsolationRow{
+		rows[di] = IsolationRow{
 			Scheduler: d,
 			Burster:   toDelayStats(rec[1]),
 			Others:    others.stats(),
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -106,8 +110,15 @@ func AblationHops(cfg RunConfig, maxHops int) []HopsRow {
 		maxHops = 4
 	}
 	disciplines := []Discipline{DiscFIFO, DiscFIFOPlus, DiscRR}
-	var rows []HopsRow
-	for h := 1; h <= maxHops; h++ {
+	// Fan the full (chain length x discipline) grid of independent
+	// simulations across workers; each job writes its own result slot.
+	results := make([][]float64, maxHops)
+	for i := range results {
+		results[i] = make([]float64, len(disciplines))
+	}
+	ForEach(maxHops*len(disciplines), func(job int) {
+		h := job/len(disciplines) + 1
+		d := disciplines[job%len(disciplines)]
 		nodes := make([]string, h+1)
 		for i := range nodes {
 			nodes[i] = fmt.Sprintf("N%d", i+1)
@@ -125,12 +136,16 @@ func AblationHops(cfg RunConfig, maxHops int) []HopsRow {
 				id++
 			}
 		}
+		run := runPlain(d, nodes, links, flows, cfg)
+		results[h-1][job%len(disciplines)] = toDelayStats(run.rec[1]).P999
+	})
+	rows := make([]HopsRow, maxHops)
+	for h := 1; h <= maxHops; h++ {
 		row := HopsRow{Hops: h, P999: map[Discipline]float64{}}
-		for _, d := range disciplines {
-			run := runPlain(d, nodes, links, flows, cfg)
-			row.P999[d] = toDelayStats(run.rec[1]).P999
+		for di, d := range disciplines {
+			row.P999[d] = results[h-1][di]
 		}
-		rows = append(rows, row)
+		rows[h-1] = row
 	}
 	return rows
 }
@@ -168,10 +183,11 @@ func AblationAdmission(cfg RunConfig, offered int) []AdmissionResult {
 	if offered == 0 {
 		offered = 40
 	}
-	var out []AdmissionResult
-	for _, policy := range []string{"measurement", "worst-case"} {
-		out = append(out, runAdmissionPolicy(cfg, offered, policy))
-	}
+	policies := []string{"measurement", "worst-case"}
+	out := make([]AdmissionResult, len(policies))
+	ForEach(len(policies), func(i int) {
+		out[i] = runAdmissionPolicy(cfg, offered, policies[i])
+	})
 	return out
 }
 
@@ -243,10 +259,13 @@ func runAdmissionPolicy(cfg RunConfig, offered int, policy string) AdmissionResu
 				PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
 				RNG: n.RNG(fmt.Sprintf("adm-%d", i)),
 			})
+			source.AttachPool(src, n.Pool())
 			stop := eng.Now() + hold
 			src.Start(eng, func(p *packet.Packet) {
 				if eng.Now() < stop {
 					fl.Inject(p)
+				} else {
+					packet.Release(p)
 				}
 			})
 			eng.At(stop, func() {
@@ -328,6 +347,7 @@ func AblationPlayback(cfg RunConfig) PlaybackResult {
 			PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
 			RNG: n.RNG(fmt.Sprintf("pb-%d", fp.ID)),
 		})
+		source.AttachPool(src, n.Pool())
 		src.Start(n.Engine(), func(p *packet.Packet) { fl.Inject(p) })
 	}
 	bound := watched.Bound()
@@ -391,8 +411,9 @@ func AblationDiscard(cfg RunConfig, thresholdsMS []float64) []DiscardRow {
 		thresholdsMS = []float64{0, 40, 20, 10}
 	}
 	flows := Figure1Flows()
-	var rows []DiscardRow
-	for _, th := range thresholdsMS {
+	rows := make([]DiscardRow, len(thresholdsMS))
+	ForEach(len(thresholdsMS), func(ti int) {
+		th := thresholdsMS[ti]
 		eng := sim.New()
 		topo := topology.NewNetwork(eng)
 		for _, nd := range Figure1Nodes() {
@@ -427,7 +448,9 @@ func AblationDiscard(cfg RunConfig, thresholdsMS []float64) []DiscardRow {
 				PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
 				RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("disc-%d", f.ID)),
 			}), AvgRate, BucketSize)
-			src.Start(eng, func(p *packet.Packet) { topo.Inject(f.Path[0], p) })
+			source.AttachPool(src, topo.Pool())
+			ingress := topo.Node(f.Path[0])
+			src.Start(eng, func(p *packet.Packet) { ingress.Inject(p) })
 		}
 		eng.RunUntil(cfg.Duration)
 		var discarded int64
@@ -435,14 +458,14 @@ func AblationDiscard(cfg RunConfig, thresholdsMS []float64) []DiscardRow {
 			discarded += p.Discarded()
 		}
 		s := toDelayStats(rec)
-		rows = append(rows, DiscardRow{
+		rows[ti] = DiscardRow{
 			ThresholdMS: th,
 			Discarded:   discarded,
 			Delivered:   delivered,
 			P999:        s.P999,
 			Max:         s.Max,
-		})
-	}
+		}
+	})
 	return rows
 }
 

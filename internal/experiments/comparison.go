@@ -70,8 +70,9 @@ func CompareDisciplines(cfg RunConfig) []ComparisonRow {
 			return sched.NewStopAndGo(0.010)
 		}},
 	}
-	var rows []ComparisonRow
-	for _, spec := range specs {
+	rows := make([]ComparisonRow, len(specs))
+	ForEach(len(specs), func(si int) {
+		spec := specs[si]
 		eng := sim.New()
 		topo := topology.NewNetwork(eng)
 		topo.AddNode("A")
@@ -96,20 +97,22 @@ func CompareDisciplines(cfg RunConfig) []ComparisonRow {
 				PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
 				RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("cmp-%d", f.ID)),
 			}), AvgRate, BucketSize)
-			src.Start(eng, func(p *packet.Packet) { topo.Inject("A", p) })
+			source.AttachPool(src, topo.Pool())
+			ingress := topo.Node("A")
+			src.Start(eng, func(p *packet.Packet) { ingress.Inject(p) })
 		}
 		eng.RunUntil(cfg.Duration)
 		agg := newMergedRecorder()
 		for _, f := range flows {
 			agg.absorb(rec[f.ID])
 		}
-		rows = append(rows, ComparisonRow{
+		rows[si] = ComparisonRow{
 			Name:           spec.name,
 			Aggregate:      agg.stats(),
 			Sample:         toDelayStats(rec[1]),
 			WorkConserving: spec.wc,
-		})
-	}
+		}
+	})
 	return rows
 }
 

@@ -12,10 +12,6 @@ func newMergedRecorder() *mergedRecorder {
 	return &mergedRecorder{r: stats.NewRecorder()}
 }
 
-func (m *mergedRecorder) absorb(src *stats.Recorder) {
-	for _, x := range src.Samples() {
-		m.r.Add(x)
-	}
-}
+func (m *mergedRecorder) absorb(src *stats.Recorder) { m.r.Absorb(src) }
 
 func (m *mergedRecorder) stats() DelayStats { return toDelayStats(m.r) }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSequential asserts the acceptance criterion of the
+// worker-pool runner: for a fixed seed, fanning the independent
+// sub-simulations across workers produces results bit-identical to running
+// them one after another — both as structured rows and as the formatted
+// tables.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := RunConfig{Duration: 8, Seed: 424242}
+
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	seqT2 := Table2(cfg)
+	seqHops := AblationHops(cfg, 3)
+
+	SetParallelism(8)
+	parT2 := Table2(cfg)
+	parHops := AblationHops(cfg, 3)
+
+	if !reflect.DeepEqual(seqT2, parT2) {
+		t.Errorf("Table2 parallel != sequential:\nseq: %#v\npar: %#v", seqT2, parT2)
+	}
+	if got, want := FormatTable2(parT2), FormatTable2(seqT2); got != want {
+		t.Errorf("FormatTable2 differs:\nseq:\n%s\npar:\n%s", want, got)
+	}
+	if !reflect.DeepEqual(seqHops, parHops) {
+		t.Errorf("AblationHops parallel != sequential:\nseq: %#v\npar: %#v", seqHops, parHops)
+	}
+	if got, want := FormatHops(parHops), FormatHops(seqHops); got != want {
+		t.Errorf("FormatHops differs:\nseq:\n%s\npar:\n%s", want, got)
+	}
+}
+
+// TestParallelRunRepeatable asserts that two parallel runs with the same
+// seed are identical to each other (no hidden shared state between worker
+// goroutines).
+func TestParallelRunRepeatable(t *testing.T) {
+	cfg := RunConfig{Duration: 8, Seed: 7}
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	a := Table1(cfg)
+	b := Table1(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two parallel Table1 runs differ:\n%#v\n%#v", a, b)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	seen := make([]int32, 100)
+	ForEach(len(seen), func(i int) { seen[i]++ })
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, n)
+		}
+	}
+	ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+}

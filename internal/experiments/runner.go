@@ -113,10 +113,12 @@ func runPlain(d Discipline, nodes []string, links [][2]string, flows []FlowPath,
 		rec:   make(map[uint32]*stats.Recorder),
 		fixed: make(map[uint32]float64),
 	}
+	// Grow-once sample storage: each flow delivers ~AvgRate packets/s.
+	expected := int(cfg.Duration*AvgRate) + 64
 	for _, f := range flows {
 		f := f
 		topo.InstallRoute(f.ID, f.Path)
-		rec := stats.NewRecorder()
+		rec := stats.NewRecorderSize(expected)
 		run.rec[f.ID] = rec
 		run.fixed[f.ID] = topo.FixedDelay(f.Path, PacketBits)
 		last := topo.Node(f.Path[len(f.Path)-1])
@@ -136,7 +138,9 @@ func runPlain(d Discipline, nodes []string, links [][2]string, flows []FlowPath,
 			Burst:    MeanBurst,
 			RNG:      sim.DeriveRNG(cfg.Seed, fmt.Sprintf("markov-%d", f.ID)),
 		}), AvgRate, BucketSize)
-		src.Start(eng, func(p *packet.Packet) { topo.Inject(f.Path[0], p) })
+		source.AttachPool(src, topo.Pool())
+		ingress := topo.Node(f.Path[0])
+		src.Start(eng, func(p *packet.Packet) { ingress.Inject(p) })
 	}
 	eng.RunUntil(cfg.Duration)
 	return run

@@ -32,22 +32,38 @@ func SweepLoad(cfg RunConfig, flowCounts []int, disciplines []Discipline) []Swee
 	if len(disciplines) == 0 {
 		disciplines = []Discipline{DiscFIFO, DiscWFQ, DiscFIFOPlus}
 	}
-	var out []SweepPoint
-	for _, nf := range flowCounts {
+	// Fan the (flow count x discipline) grid of independent simulations
+	// across workers, then assemble rows in order.
+	type cell struct {
+		agg  DelayStats
+		util float64
+	}
+	grid := make([][]cell, len(flowCounts))
+	for i := range grid {
+		grid[i] = make([]cell, len(disciplines))
+	}
+	ForEach(len(flowCounts)*len(disciplines), func(job int) {
+		fi, di := job/len(disciplines), job%len(disciplines)
+		flows := SingleLinkFlows(flowCounts[fi])
+		run := runPlain(disciplines[di], []string{"A", "B"}, [][2]string{{"A", "B"}}, flows, cfg)
+		grid[fi][di] = cell{
+			agg:  mergeRecorders(run, flows),
+			util: run.utilization("A", "B", cfg.Duration),
+		}
+	})
+	out := make([]SweepPoint, len(flowCounts))
+	for fi, nf := range flowCounts {
 		pt := SweepPoint{
 			Flows: nf,
 			P999:  map[Discipline]float64{},
 			Mean:  map[Discipline]float64{},
 		}
-		flows := SingleLinkFlows(nf)
-		for _, d := range disciplines {
-			run := runPlain(d, []string{"A", "B"}, [][2]string{{"A", "B"}}, flows, cfg)
-			agg := mergeRecorders(run, flows)
-			pt.P999[d] = agg.P999
-			pt.Mean[d] = agg.Mean
-			pt.Utilization = run.utilization("A", "B", cfg.Duration)
+		for di, d := range disciplines {
+			pt.P999[d] = grid[fi][di].agg.P999
+			pt.Mean[d] = grid[fi][di].agg.Mean
+			pt.Utilization = grid[fi][di].util
 		}
-		out = append(out, pt)
+		out[fi] = pt
 	}
 	return out
 }
@@ -102,7 +118,9 @@ func DelayDistribution(d Discipline, cfg RunConfig) *stats.Histogram {
 			PeakRate: PeakFactor * AvgRate, AvgRate: AvgRate, Burst: MeanBurst,
 			RNG: sim.DeriveRNG(cfg.Seed, fmt.Sprintf("dist-%d", f.ID)),
 		}), AvgRate, BucketSize)
-		src.Start(eng, func(p *packet.Packet) { topo.Inject("A", p) })
+		source.AttachPool(src, topo.Pool())
+		ingress := topo.Node("A")
+		src.Start(eng, func(p *packet.Packet) { ingress.Inject(p) })
 	}
 	eng.RunUntil(cfg.Duration)
 	return h

@@ -25,17 +25,18 @@ func Table1(cfg RunConfig) []Table1Row {
 	flows := SingleLinkFlows(10)
 	nodes := []string{"A", "B"}
 	links := [][2]string{{"A", "B"}}
-	var rows []Table1Row
-	for _, d := range []Discipline{DiscWFQ, DiscFIFO} {
+	ds := []Discipline{DiscWFQ, DiscFIFO}
+	rows := make([]Table1Row, len(ds))
+	ForEach(len(ds), func(i int) {
+		d := ds[i]
 		run := runPlain(d, nodes, links, flows, cfg)
-		all := mergeRecorders(run, flows)
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Scheduler:   d,
 			Sample:      toDelayStats(run.rec[flows[0].ID]),
-			AllFlows:    all,
+			AllFlows:    mergeRecorders(run, flows),
 			Utilization: run.utilization("A", "B", cfg.Duration),
-		})
-	}
+		}
+	})
 	return rows
 }
 

@@ -33,20 +33,22 @@ func Table2Single(d Discipline, cfg RunConfig) Table2Row {
 	return tableOverFigure1(cfg, []Discipline{d})[0]
 }
 
-// tableOverFigure1 runs the Table-2 workload under each discipline.
+// tableOverFigure1 runs the Table-2 workload under each discipline, fanning
+// the (independent, seed-deterministic) simulations across workers.
 func tableOverFigure1(cfg RunConfig, ds []Discipline) []Table2Row {
 	cfg.fill()
 	flows := Figure1Flows()
 	samples := Table2SampleFlows()
-	var rows []Table2Row
-	for _, d := range ds {
+	rows := make([]Table2Row, len(ds))
+	ForEach(len(ds), func(i int) {
+		d := ds[i]
 		run := runPlain(d, Figure1Nodes(), Figure1Links(), flows, cfg)
 		row := Table2Row{Scheduler: d}
 		for k, id := range samples {
 			row.PerPath[k] = toDelayStats(run.rec[id])
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 

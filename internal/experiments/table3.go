@@ -150,6 +150,8 @@ func Table3(cfg RunConfig) Table3Result {
 		if err != nil {
 			panic(fmt.Sprintf("experiments: admitting flow %d: %v", fp.ID, err))
 		}
+		// Grow-once sample storage for the expected delivery count.
+		fl.Meter().Reserve(int(cfg.Duration*AvgRate) + 64)
 		flows[fp.ID] = fl
 
 		src := source.NewMarkov(source.MarkovConfig{
@@ -160,6 +162,7 @@ func Table3(cfg RunConfig) Table3Result {
 			Burst:    MeanBurst,
 			RNG:      n.RNG(fmt.Sprintf("markov-%d", fp.ID)),
 		})
+		source.AttachPool(src, n.Pool())
 		inject := func(p *packet.Packet) { fl.Inject(p) }
 		if kind == GuaranteedPeak || kind == GuaranteedAvg {
 			// Guaranteed flows make no traffic commitment to the
@@ -213,6 +216,13 @@ func Table3(cfg RunConfig) Table3Result {
 	}
 	for _, kind := range []ServiceKind{GuaranteedPeak, GuaranteedAvg, PredictedHigh, PredictedLow} {
 		merged := newMergedRecorder()
+		total := 0
+		for id, k := range assignment {
+			if k == kind {
+				total += flows[id].Meter().Count()
+			}
+		}
+		merged.r.Reserve(total)
 		for id, k := range assignment {
 			if k == kind {
 				merged.absorb(flows[id].Meter())

@@ -2,6 +2,11 @@
 // with the binary wire format for the ISPN header proposed by the paper
 // (Section 12 proposes that the FIFO+ jitter-offset control field "be defined
 // as part of the packet header").
+//
+// Packets on the simulator fast path are recycled through a per-engine
+// [Pool] rather than garbage collected; see the Pool documentation for the
+// ownership rules (who allocates, who releases, and the obligations of
+// every drop site).
 package packet
 
 import "fmt"
@@ -66,6 +71,10 @@ type Packet struct {
 	// Payload carries transport-layer state (e.g. *tcp.Segment). It is
 	// opaque to the network layer.
 	Payload any
+
+	// origin is the Pool the packet was drawn from (nil for packets
+	// allocated outside any pool). Not part of the wire format.
+	origin *Pool
 }
 
 // ExpectedArrival is the FIFO+ expected arrival time at the current hop: the

@@ -1,8 +1,6 @@
 package queue
 
 import (
-	"container/heap"
-
 	"ispn/internal/packet"
 )
 
@@ -10,8 +8,13 @@ import (
 // (smallest first). Ties are broken by insertion order, so packets with equal
 // deadlines are served FIFO — the degenerate case the paper highlights
 // ("deadline scheduling in a homogeneous class leads to FIFO").
+//
+// It is an index-based 4-ary min-heap over value items: Push and Pop on the
+// FIFO+ fast path (one of each per packet-hop) allocate nothing beyond
+// amortized slice growth, unlike the container/heap realization whose
+// interface methods box every item.
 type DeadlineQueue struct {
-	h   dlHeap
+	h   []dlItem
 	seq uint64
 }
 
@@ -21,24 +24,11 @@ type dlItem struct {
 	seq uint64
 }
 
-type dlHeap []dlItem
-
-func (h dlHeap) Len() int { return len(h) }
-func (h dlHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+func dlLess(a, b dlItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return h[i].seq < h[j].seq
-}
-func (h dlHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *dlHeap) Push(x any)   { *h = append(*h, x.(dlItem)) }
-func (h *dlHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = dlItem{}
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // NewDeadlineQueue returns an empty deadline queue.
@@ -49,16 +39,62 @@ func (q *DeadlineQueue) Len() int { return len(q.h) }
 
 // Push inserts p with the given deadline key.
 func (q *DeadlineQueue) Push(p *packet.Packet, key float64) {
-	heap.Push(&q.h, dlItem{p: p, key: key, seq: q.seq})
+	it := dlItem{p: p, key: key, seq: q.seq}
 	q.seq++
+	q.h = append(q.h, it)
+	// Sift up.
+	h := q.h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !dlLess(it, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
 }
 
 // Pop removes and returns the packet with the smallest deadline, or nil.
 func (q *DeadlineQueue) Pop() *packet.Packet {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(dlItem).p
+	p := q.h[0].p
+	last := q.h[n-1]
+	q.h[n-1] = dlItem{}
+	q.h = q.h[:n-1]
+	n--
+	if n > 0 {
+		// Sift last down from the root.
+		h := q.h
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= n {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if dlLess(h[c], h[best]) {
+					best = c
+				}
+			}
+			if !dlLess(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	return p
 }
 
 // Peek returns the packet with the smallest deadline without removing it.

@@ -9,6 +9,7 @@ import "ispn/internal/packet"
 // as a baseline of operation the aggregate jitter of the higher class").
 type Priority struct {
 	levels   []Scheduler
+	counts   []int // per-level occupancy, avoiding interface Len() calls
 	classify func(*packet.Packet) int
 	n        int
 }
@@ -42,7 +43,7 @@ func NewPriority(levels []Scheduler, classify func(*packet.Packet) int) *Priorit
 	if classify == nil {
 		classify = ClassifyByHeader(len(levels))
 	}
-	return &Priority{levels: levels, classify: classify}
+	return &Priority{levels: levels, counts: make([]int, len(levels)), classify: classify}
 }
 
 // Level exposes the sub-scheduler at level i (for measurement hooks).
@@ -61,15 +62,17 @@ func (pr *Priority) Enqueue(p *packet.Packet, now float64) {
 		l = len(pr.levels) - 1
 	}
 	pr.levels[l].Enqueue(p, now)
+	pr.counts[l]++
 	pr.n++
 }
 
 // Dequeue implements Scheduler.
 func (pr *Priority) Dequeue(now float64) *packet.Packet {
-	for _, lvl := range pr.levels {
-		if lvl.Len() > 0 {
+	for l, c := range pr.counts {
+		if c > 0 {
+			pr.counts[l]--
 			pr.n--
-			return lvl.Dequeue(now)
+			return pr.levels[l].Dequeue(now)
 		}
 	}
 	return nil
@@ -77,9 +80,9 @@ func (pr *Priority) Dequeue(now float64) *packet.Packet {
 
 // Peek implements Scheduler.
 func (pr *Priority) Peek() *packet.Packet {
-	for _, lvl := range pr.levels {
-		if lvl.Len() > 0 {
-			return lvl.Peek()
+	for l, c := range pr.counts {
+		if c > 0 {
+			return pr.levels[l].Peek()
 		}
 	}
 	return nil

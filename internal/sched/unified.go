@@ -127,14 +127,17 @@ func (u *Unified) ClassDelayEstimate(i int, now float64) float64 {
 }
 
 // Enqueue implements Scheduler: guaranteed packets are routed to their own
-// WFQ flow by flow id; everything else lands in flow 0.
+// WFQ flow by flow id; everything else lands in flow 0 directly (no per-flow
+// lookup — only guaranteed flows are ever registered with the WFQ layer).
 func (u *Unified) Enqueue(p *packet.Packet, now float64) {
 	if p.Class == packet.Guaranteed {
 		if u.WFQ.Rate(p.FlowID) == 0 {
 			panic(fmt.Sprintf("sched: guaranteed packet for unreserved flow %d", p.FlowID))
 		}
+		u.WFQ.Enqueue(p, now)
+		return
 	}
-	u.WFQ.Enqueue(p, now)
+	u.WFQ.EnqueueFallback(p, now)
 }
 
 var _ Scheduler = (*Unified)(nil)

@@ -153,16 +153,29 @@ func (w *WFQ) advance(now float64) {
 
 // Enqueue implements Scheduler.
 func (w *WFQ) Enqueue(p *packet.Packet, now float64) {
+	w.enqueueOn(w.flowOf(p), p, now)
+}
+
+// EnqueueFallback enqueues p directly on the fallback flow, skipping the
+// per-flow map lookup — the unified scheduler's fast path for predicted and
+// datagram traffic, which all shares pseudo flow 0.
+func (w *WFQ) EnqueueFallback(p *packet.Packet, now float64) {
+	if w.fallback == nil {
+		panic("sched: WFQ EnqueueFallback without a fallback flow")
+	}
+	w.enqueueOn(w.fallback, p, now)
+}
+
+func (w *WFQ) enqueueOn(f *wfqFlow, p *packet.Packet, now float64) {
 	w.advance(now)
 	if w.n == 0 {
 		// New busy period: restart the virtual clock so old finish
 		// tags cannot starve newly arriving flows.
 		w.vt = 0
-		for _, f := range w.flows {
-			f.lastFinish = 0
+		for _, g := range w.flows {
+			g.lastFinish = 0
 		}
 	}
-	f := w.flowOf(p)
 	start := math.Max(w.vt, f.lastFinish)
 	finish := start + float64(p.Size)/f.rate
 	f.lastFinish = finish

@@ -4,56 +4,80 @@
 // ordered by (time, insertion sequence), so simulations are fully
 // reproducible: two events scheduled for the same instant fire in the order
 // they were scheduled. Events are cancellable.
+//
+// The fast path is allocation-free and pointer-free in steady state: the
+// pending queue is an index-based 4-ary min-heap of plain-value entries
+// (time, seq, node index) — sift operations move 24-byte values with no
+// interface boxing, no pointer chasing per comparison, and no GC write
+// barriers. Callback state lives in engine-owned nodes allocated in stable
+// blocks and recycled through a free list, and the prebound
+// ScheduleCall/AtCall form lets hot callers (one event per packet
+// transmission) schedule without constructing a closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. It is returned by Schedule/At so callers can
-// cancel it before it fires.
-type Event struct {
-	time  float64
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once removed
+// node carries an event's callback state. Nodes live in fixed blocks (their
+// addresses are stable), are recycled through the engine's free list after
+// firing or cancellation, and carry a generation counter so stale Event
+// handles are inert rather than aliased.
+type node struct {
+	fn      func()    // closure form (Schedule/At)
+	call    func(any) // prebound form (ScheduleCall/AtCall)
+	arg     any
+	time    float64
+	ni      uint32 // this node's stable index
+	gen     uint32
+	pending bool
 }
 
-// Time returns the simulated time at which the event will fire.
-func (e *Event) Time() float64 { return e.time }
+// entry is one heap slot: the ordering key plus the index of its node. It
+// deliberately contains no pointers, so heap maintenance never pays a GC
+// write barrier and comparisons stay within the heap's own cache lines.
+type entry struct {
+	time float64
+	seq  uint64
+	ni   uint32
+}
 
-// Cancelled reports whether the event has been cancelled or has already fired.
-func (e *Event) Cancelled() bool { return e.index < 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func entryLess(a, b entry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// nodeBlockSize is the node-slab allocation unit.
+const nodeBlockSize = 128
+
+// Event is a cancellable handle to a scheduled callback, returned by
+// Schedule and At. It is a small value; the zero Event is a valid "no
+// event" handle for which Cancelled reports true and Cancel is a no-op.
+// Handles stay safe after their event fires: the underlying node may be
+// recycled for a new event, but the generation check makes the stale handle
+// inert rather than aliased.
+type Event struct {
+	n   *node
+	gen uint32
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// Time returns the simulated time at which the event will fire, or NaN if
+// the handle is stale (the event already fired or was cancelled and its
+// node was recycled).
+func (e Event) Time() float64 {
+	if e.n == nil || e.n.gen != e.gen {
+		return math.NaN()
+	}
+	return e.n.time
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// Cancelled reports whether the event has been cancelled or has already
+// fired (including the zero Event).
+func (e Event) Cancelled() bool {
+	return e.n == nil || e.n.gen != e.gen || !e.n.pending
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
@@ -61,7 +85,9 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now       float64
 	seq       uint64
-	events    eventHeap
+	heap      []entry // 4-ary min-heap by (time, seq)
+	free      []*node // recycled nodes
+	blocks    []*[nodeBlockSize]node
 	stopped   bool
 	processed uint64
 }
@@ -76,12 +102,12 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule arranges for fn to run delay seconds from now. A negative delay is
 // treated as zero. It panics on NaN delays, which always indicate a
 // simulation bug.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if math.IsNaN(delay) {
 		panic("sim: NaN delay")
 	}
@@ -93,27 +119,99 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t. Times before the current
 // clock are clamped to now.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	n := e.insert(t)
+	n.fn = fn
+	return Event{n: n, gen: n.gen}
+}
+
+// ScheduleCall arranges for call(arg) to run delay seconds from now. It is
+// the closure-free fast path for hot, prebound callbacks (e.g. a port's
+// transmit-complete handler with the packet as payload): the callback is
+// bound once at setup and no per-event closure is allocated. The event
+// cannot be cancelled; use Schedule when a handle is needed.
+func (e *Engine) ScheduleCall(delay float64, call func(any), arg any) {
+	if math.IsNaN(delay) {
+		panic("sim: NaN delay")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.AtCall(e.now+delay, call, arg)
+}
+
+// AtCall is ScheduleCall with an absolute time, clamped to now.
+func (e *Engine) AtCall(t float64, call func(any), arg any) {
+	if call == nil {
+		panic("sim: nil event function")
+	}
+	n := e.insert(t)
+	n.call = call
+	n.arg = arg
+}
+
+// nodeAt resolves a stable node index.
+func (e *Engine) nodeAt(ni uint32) *node {
+	return &e.blocks[ni/nodeBlockSize][ni%nodeBlockSize]
+}
+
+// insert takes a node from the free list (growing the slab if needed),
+// stamps it and pushes its heap entry.
+func (e *Engine) insert(t float64) *node {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	if len(e.free) == 0 {
+		blk := new([nodeBlockSize]node)
+		base := uint32(len(e.blocks)) * nodeBlockSize
+		e.blocks = append(e.blocks, blk)
+		for i := range blk {
+			blk[i].ni = base + uint32(i)
+			e.free = append(e.free, &blk[i])
+		}
+	}
+	k := len(e.free) - 1
+	n := e.free[k]
+	e.free[k] = nil
+	e.free = e.free[:k]
+	n.time = t
+	n.pending = true
+	e.heap = append(e.heap, entry{time: t, seq: e.seq, ni: n.ni})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.siftUp(len(e.heap) - 1)
+	return n
 }
 
-// Cancel removes a pending event. Cancelling a nil, fired, or already
-// cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// recycle returns a node to the free list, invalidating outstanding handles.
+func (e *Engine) recycle(n *node) {
+	n.gen++
+	n.fn = nil
+	n.call = nil
+	n.arg = nil
+	n.pending = false
+	e.free = append(e.free, n)
+}
+
+// Cancel removes a pending event. Cancelling a zero, stale, fired, or
+// already cancelled event is a no-op. It costs a linear scan of the pending
+// queue (which stays small — sources and busy ports each keep one event in
+// flight), a deliberate trade: fire-path sifts carry no per-node back
+// pointers to maintain.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || !n.pending {
 		return
 	}
-	heap.Remove(&e.events, ev.index)
-	ev.index = -1
+	for i := range e.heap {
+		if e.heap[i].ni == n.ni {
+			e.removeAt(i)
+			break
+		}
+	}
+	e.recycle(n)
 }
 
 // Stop makes the currently executing Run return once the current event's
@@ -127,17 +225,34 @@ func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }
 // (unless the run was stopped early or the horizon is infinite).
 func (e *Engine) RunUntil(t float64) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.time > t {
+	for len(e.heap) > 0 && !e.stopped {
+		top := e.heap[0]
+		if top.time > t {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.time > e.now {
-			e.now = next.time
+		// Pop the root in place.
+		h := e.heap
+		last := len(h) - 1
+		h[0] = h[last]
+		e.heap = h[:last]
+		if last > 1 {
+			e.siftDown(0)
+		}
+		if top.time > e.now {
+			e.now = top.time
 		}
 		e.processed++
-		next.fn()
+		// Copy the callback out and recycle before invoking: the
+		// callback may schedule (reusing this node) or Cancel its own
+		// now-stale handle, both of which are safe.
+		n := e.nodeAt(top.ni)
+		fn, call, arg := n.fn, n.call, n.arg
+		e.recycle(n)
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
 	}
 	if !e.stopped && !math.IsInf(t, 1) && t > e.now {
 		e.now = t
@@ -146,5 +261,64 @@ func (e *Engine) RunUntil(t float64) {
 
 // String summarizes engine state, for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%.6fs pending=%d processed=%d}", e.now, len(e.events), e.processed)
+	return fmt.Sprintf("sim.Engine{now=%.6fs pending=%d processed=%d}", e.now, len(e.heap), e.processed)
+}
+
+// --- 4-ary heap of value entries -------------------------------------------
+
+// removeAt deletes the entry at heap index i.
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+	}
+	e.heap = h[:last]
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	it := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(it, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
+}
+
+// siftDown restores the heap below index i and reports whether the entry
+// moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	count := len(h)
+	it := h[i]
+	i0 := i
+	for {
+		first := i<<2 + 1
+		if first >= count {
+			break
+		}
+		best := first
+		for c := first + 1; c < first+4 && c < count; c++ {
+			if entryLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !entryLess(h[best], it) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = it
+	return i != i0
 }

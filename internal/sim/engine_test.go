@@ -127,14 +127,14 @@ func TestCancelIsIdempotent(t *testing.T) {
 	ev := e.Schedule(1, func() {})
 	e.Cancel(ev)
 	e.Cancel(ev) // must not panic
-	e.Cancel(nil)
+	e.Cancel(Event{})
 	e.Run()
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.Schedule(float64(i), func() { got = append(got, i) }))
@@ -262,5 +262,99 @@ func TestStringSmoke(t *testing.T) {
 	e := New()
 	if e.String() == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+func TestScheduleCallInterleavesWithSchedule(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(2, func() { got = append(got, "closure@2") })
+	e.ScheduleCall(1, func(arg any) { got = append(got, arg.(string)) }, "call@1")
+	e.ScheduleCall(2, func(arg any) { got = append(got, arg.(string)) }, "call@2")
+	e.Run()
+	want := []string{"call@1", "closure@2", "call@2"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStaleHandleCancelIsInert(t *testing.T) {
+	// A handle to a fired event must not cancel the event that recycled
+	// its node.
+	e := New()
+	ev := e.Schedule(1, func() {})
+	e.Run()
+	if !ev.Cancelled() {
+		t.Fatal("fired event's handle should report Cancelled")
+	}
+	fired := false
+	e.Schedule(1, func() { fired = true }) // reuses the recycled node
+	e.Cancel(ev)                           // stale: must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel removed a recycled node's new event")
+	}
+}
+
+func TestSelfCancelInsideCallback(t *testing.T) {
+	e := New()
+	var ev Event
+	ran := false
+	ev = e.Schedule(1, func() {
+		ran = true
+		e.Cancel(ev) // cancelling the firing event must be a no-op
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestEventNodesAreRecycled(t *testing.T) {
+	e := New()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			e.Schedule(float64(i), func() {})
+		}
+		e.Run()
+	}
+	if len(e.free) == 0 {
+		t.Fatal("free list empty after events fired")
+	}
+	if len(e.blocks) != 1 {
+		t.Fatalf("engine grew %d node blocks for 100 concurrent events, want 1 (nodes not reused)", len(e.blocks))
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tick func()
+	tick = func() {
+		e.Schedule(0.001, tick)
+	}
+	e.Schedule(0, tick)
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 0.001)
+	}
+}
+
+func BenchmarkScheduleCallFire(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	var tick func(any)
+	tick = func(arg any) {
+		e.ScheduleCall(0.001, tick, arg)
+	}
+	e.ScheduleCall(0, tick, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 0.001)
 	}
 }

@@ -26,6 +26,23 @@ type Source interface {
 	Generated() int64
 }
 
+// PoolUser is implemented by sources that can allocate their packets from a
+// free list instead of the heap.
+type PoolUser interface {
+	// SetPool directs future packet allocation to pl (nil reverts to
+	// heap allocation).
+	SetPool(pl *packet.Pool)
+}
+
+// AttachPool points src at the pool if it supports pooled allocation (all
+// generators in this package do; wrappers delegate to their inner source).
+// Call it before Start.
+func AttachPool(src Source, pl *packet.Pool) {
+	if u, ok := src.(PoolUser); ok {
+		u.SetPool(pl)
+	}
+}
+
 // common carries the fields every generator shares.
 type common struct {
 	flowID    uint32
@@ -34,17 +51,25 @@ type common struct {
 	sizeBits  int
 	seq       uint64
 	generated int64
+	pool      *packet.Pool
 }
 
+// SetPool implements PoolUser.
+func (c *common) SetPool(pl *packet.Pool) { c.pool = pl }
+
 func (c *common) newPacket(now float64) *packet.Packet {
-	p := &packet.Packet{
-		FlowID:    c.flowID,
-		Seq:       c.seq,
-		Size:      c.sizeBits,
-		Class:     c.class,
-		Priority:  c.priority,
-		CreatedAt: now,
+	var p *packet.Packet
+	if c.pool != nil {
+		p = c.pool.Get()
+	} else {
+		p = &packet.Packet{}
 	}
+	p.FlowID = c.flowID
+	p.Seq = c.seq
+	p.Size = c.sizeBits
+	p.Class = c.class
+	p.Priority = c.priority
+	p.CreatedAt = now
 	c.seq++
 	c.generated++
 	return p
@@ -103,20 +128,27 @@ func NewMarkov(cfg MarkovConfig) *Markov {
 func (m *Markov) MeanIdle() float64 { return m.idle }
 
 // Start implements Source. The source begins in an idle period.
+//
+// The burst position lives in a captured variable rather than a per-packet
+// closure, so a running source schedules through one reused callback and
+// the steady-state event loop allocates nothing.
 func (m *Markov) Start(eng *sim.Engine, inject Inject) {
-	var burstLoop func(remaining int)
-	startBurst := func() {
-		burstLoop(m.rng.Geometric(m.burst))
-	}
-	burstLoop = func(remaining int) {
+	remaining := 0
+	var tick func()
+	tick = func() {
+		if remaining == 0 {
+			// Start of a burst: draw its length.
+			remaining = m.rng.Geometric(m.burst)
+		}
 		inject(m.newPacket(eng.Now()))
-		if remaining > 1 {
-			eng.Schedule(1/m.peak, func() { burstLoop(remaining - 1) })
+		remaining--
+		if remaining > 0 {
+			eng.Schedule(1/m.peak, tick)
 			return
 		}
-		eng.Schedule(1/m.peak+m.rng.Exp(m.idle), startBurst)
+		eng.Schedule(1/m.peak+m.rng.Exp(m.idle), tick)
 	}
-	eng.Schedule(m.rng.Exp(m.idle), startBurst)
+	eng.Schedule(m.rng.Exp(m.idle), tick)
 }
 
 // CBR emits fixed-size packets at a constant rate — the classic rigid
@@ -222,12 +254,20 @@ func NewPoliced(inner Source, rate, depth float64) *Policed {
 	return &Policed{inner: inner, bucket: tokenbucket.New(rate, depth)}
 }
 
+// SetPool implements PoolUser by delegating to the wrapped source.
+func (f *Policed) SetPool(pl *packet.Pool) {
+	if u, ok := f.inner.(PoolUser); ok {
+		u.SetPool(pl)
+	}
+}
+
 // Start implements Source.
 func (f *Policed) Start(eng *sim.Engine, inject Inject) {
 	f.inner.Start(eng, func(p *packet.Packet) {
 		f.counter.Total++
 		if !f.bucket.Take(eng.Now(), 1) {
 			f.counter.Dropped++
+			packet.Release(p)
 			return
 		}
 		inject(p)

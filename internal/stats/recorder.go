@@ -8,15 +8,21 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Recorder accumulates a sample set and answers exact order statistics.
 // It keeps every sample; a 10-minute paper run is ~50k samples per flow,
 // which is cheap. For unbounded runs use P2Quantile instead.
+//
+// Percentile queries sort incrementally: the recorder tracks how much of
+// the sample slice is already sorted, so a batch of quantile queries after
+// a batch of adds sorts only the new tail and merges it into the sorted
+// prefix, instead of re-sorting the full set every time.
 type Recorder struct {
 	samples []float64
-	sorted  bool
+	sortedN int       // samples[:sortedN] is sorted
+	scratch []float64 // merge buffer, reused across batches
 	sum     float64
 	sumsq   float64
 	max     float64
@@ -28,10 +34,28 @@ func NewRecorder() *Recorder {
 	return &Recorder{min: math.Inf(1), max: math.Inf(-1)}
 }
 
+// NewRecorderSize returns an empty recorder with storage preallocated for
+// capHint samples, so a run of known length (expected packet count) grows
+// the sample slice exactly once.
+func NewRecorderSize(capHint int) *Recorder {
+	r := NewRecorder()
+	if capHint > 0 {
+		r.samples = make([]float64, 0, capHint)
+	}
+	return r
+}
+
+// Reserve grows sample storage so at least n total samples fit without
+// reallocation.
+func (r *Recorder) Reserve(n int) {
+	if extra := n - cap(r.samples); extra > 0 {
+		r.samples = slices.Grow(r.samples, n-len(r.samples))
+	}
+}
+
 // Add records one sample.
 func (r *Recorder) Add(x float64) {
 	r.samples = append(r.samples, x)
-	r.sorted = false
 	r.sum += x
 	r.sumsq += x * x
 	if x > r.max {
@@ -39,6 +63,24 @@ func (r *Recorder) Add(x float64) {
 	}
 	if x < r.min {
 		r.min = x
+	}
+}
+
+// Absorb merges every sample of src into r in one bulk append (recorders
+// are merged when aggregating per-flow statistics into per-class or
+// per-experiment views). src is unchanged.
+func (r *Recorder) Absorb(src *Recorder) {
+	if src == nil || len(src.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, src.samples...)
+	r.sum += src.sum
+	r.sumsq += src.sumsq
+	if src.max > r.max {
+		r.max = src.max
+	}
+	if src.min < r.min {
+		r.min = src.min
 	}
 }
 
@@ -88,6 +130,40 @@ func (r *Recorder) Stddev() float64 {
 	return math.Sqrt(v)
 }
 
+// ensureSorted sorts the unsorted tail appended since the last quantile
+// batch and merges it into the sorted prefix.
+func (r *Recorder) ensureSorted() {
+	n := len(r.samples)
+	if r.sortedN >= n {
+		return
+	}
+	tail := r.samples[r.sortedN:]
+	slices.Sort(tail)
+	// Fast path: the whole tail lands at or above the prefix maximum.
+	if r.sortedN == 0 || tail[0] >= r.samples[r.sortedN-1] {
+		r.sortedN = n
+		return
+	}
+	// Merge prefix and tail through the scratch buffer.
+	if cap(r.scratch) < n {
+		r.scratch = make([]float64, n)
+	}
+	s := r.scratch[:n]
+	copy(s, r.samples)
+	a, b := s[:r.sortedN], s[r.sortedN:]
+	i, j := 0, 0
+	for k := 0; k < n; k++ {
+		if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+			r.samples[k] = a[i]
+			i++
+		} else {
+			r.samples[k] = b[j]
+			j++
+		}
+	}
+	r.sortedN = n
+}
+
 // Percentile returns the exact p-quantile (0 <= p <= 1) using the
 // nearest-rank method on the sorted samples. With no samples it returns 0.
 func (r *Recorder) Percentile(p float64) float64 {
@@ -95,10 +171,7 @@ func (r *Recorder) Percentile(p float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	if !r.sorted {
-		sort.Float64s(r.samples)
-		r.sorted = true
-	}
+	r.ensureSorted()
 	if p <= 0 {
 		return r.samples[0]
 	}

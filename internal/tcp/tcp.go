@@ -56,11 +56,21 @@ type Stats struct {
 	AcksReceived    int64
 }
 
+// txRec is the sender's per-segment record: first transmission time and
+// Karn retransmission flag, tagged by seq+1.
+type txRec struct {
+	tag    uint64 // seq+1; 0 = empty
+	time   float64
+	rexmit bool
+}
+
 // Connection is a greedy (infinite-data) TCP sender plus its receiver.
 type Connection struct {
 	cfg Config
 	net *topology.Network
 	eng *sim.Engine
+	// Ingress nodes of the data and ACK paths, resolved once.
+	dataIngress, ackIngress *topology.Node
 
 	// Sender state.
 	sndUna  uint64  // lowest unacknowledged segment
@@ -74,13 +84,26 @@ type Connection struct {
 
 	// RTT estimation (Jacobson/Karels).
 	srtt, rttvar, rto float64
-	timer             *sim.Event
-	sendTime          map[uint64]float64 // seq -> first transmission time
-	rexmitted         map[uint64]bool    // Karn: no RTT sample from these
+	timer             sim.Event
+	timeoutFn         func() // prebound onTimeout, allocated once
+
+	// Per-segment transmission state lives in a seq-indexed ring sized to
+	// the window (entries are tagged with seq+1, so a slot is only
+	// meaningful for the segment it was written for): no map traffic on
+	// the per-segment fast path. The live seq range is bounded by the
+	// congestion window, so a ring of >= 4*MaxCwnd slots never collides.
+	txWin   []txRec
+	oooWin  []uint64 // tag seq+1 at slot seq&mask; 0 = not received
+	winMask uint64
 
 	// Receiver state.
 	rcvNext uint64
-	ooo     map[uint64]bool
+
+	// Packet structs come from the network pool; Segment payloads are
+	// recycled through this connection-local free list, so a running
+	// connection allocates neither.
+	pool    *packet.Pool
+	segFree []*Segment
 
 	stats   Stats
 	started bool
@@ -108,18 +131,26 @@ func NewConnection(net *topology.Network, cfg Config) *Connection {
 		panic("tcp: data and ack flow ids must differ")
 	}
 	c := &Connection{
-		cfg:       cfg,
-		net:       net,
-		eng:       net.Engine(),
-		cwnd:      1,
-		ssthr:     cfg.MaxCwnd,
-		rto:       1.0,
-		sendTime:  make(map[uint64]float64),
-		rexmitted: make(map[uint64]bool),
-		ooo:       make(map[uint64]bool),
+		cfg:   cfg,
+		net:   net,
+		eng:   net.Engine(),
+		cwnd:  1,
+		ssthr: cfg.MaxCwnd,
+		rto:   1.0,
+		pool:  net.Pool(),
 	}
+	winSize := uint64(256)
+	for winSize < 4*uint64(cfg.MaxCwnd) {
+		winSize *= 2
+	}
+	c.txWin = make([]txRec, winSize)
+	c.oooWin = make([]uint64, winSize)
+	c.winMask = winSize - 1
+	c.timeoutFn = c.onTimeout
 	net.InstallRoute(cfg.DataFlowID, cfg.Path)
 	net.InstallRoute(cfg.AckFlowID, cfg.ReversePath)
+	c.dataIngress = net.Node(cfg.Path[0])
+	c.ackIngress = net.Node(cfg.ReversePath[0])
 	dst := net.Node(cfg.Path[len(cfg.Path)-1])
 	dst.SetSink(cfg.DataFlowID, c.onData)
 	src := net.Node(cfg.ReversePath[len(cfg.ReversePath)-1])
@@ -171,34 +202,57 @@ func (c *Connection) trySend() {
 	}
 }
 
-func (c *Connection) sendSegment(seq uint64, isRexmit bool) {
-	p := &packet.Packet{
-		FlowID:    c.cfg.DataFlowID,
-		Seq:       seq,
-		Size:      c.cfg.SegmentBits,
-		Class:     packet.Datagram,
-		Priority:  c.cfg.Priority,
-		CreatedAt: c.eng.Now(),
-		Payload:   &Segment{Seq: seq},
+// getSeg and putSeg recycle Segment payloads. A segment is returned to the
+// free list by the sink that consumed it (onData/onAck), before the network
+// releases the carrying packet.
+func (c *Connection) getSeg() *Segment {
+	if k := len(c.segFree) - 1; k >= 0 {
+		s := c.segFree[k]
+		c.segFree[k] = nil
+		c.segFree = c.segFree[:k]
+		*s = Segment{}
+		return s
 	}
+	return &Segment{}
+}
+
+func (c *Connection) putSeg(s *Segment) {
+	if s != nil {
+		c.segFree = append(c.segFree, s)
+	}
+}
+
+func (c *Connection) sendSegment(seq uint64, isRexmit bool) {
+	seg := c.getSeg()
+	seg.Seq = seq
+	p := c.pool.Get()
+	p.FlowID = c.cfg.DataFlowID
+	p.Seq = seq
+	p.Size = c.cfg.SegmentBits
+	p.Class = packet.Datagram
+	p.Priority = c.cfg.Priority
+	p.CreatedAt = c.eng.Now()
+	p.Payload = seg
 	c.stats.SegmentsSent++
+	rec := &c.txWin[seq&c.winMask]
 	if isRexmit {
 		c.stats.Retransmits++
-		c.rexmitted[seq] = true
-	} else if _, seen := c.sendTime[seq]; !seen {
-		c.sendTime[seq] = c.eng.Now()
+		if rec.tag != seq+1 {
+			*rec = txRec{tag: seq + 1}
+		}
+		rec.rexmit = true
+	} else if rec.tag != seq+1 {
+		*rec = txRec{tag: seq + 1, time: c.eng.Now()}
 	}
-	c.net.Inject(c.cfg.Path[0], p)
-	if c.timer == nil || c.timer.Cancelled() {
+	c.dataIngress.Inject(p)
+	if c.timer.Cancelled() {
 		c.armTimer()
 	}
 }
 
 func (c *Connection) armTimer() {
-	if c.timer != nil {
-		c.eng.Cancel(c.timer)
-	}
-	c.timer = c.eng.Schedule(c.rto, c.onTimeout)
+	c.eng.Cancel(c.timer)
+	c.timer = c.eng.Schedule(c.rto, c.timeoutFn)
 }
 
 func (c *Connection) onTimeout() {
@@ -225,14 +279,16 @@ func (c *Connection) onAck(p *packet.Packet) {
 	}
 	c.stats.AcksReceived++
 	ack := seg.Ack
+	// The segment is consumed here; recycle it before the network
+	// releases the carrying packet.
+	p.Payload = nil
+	c.putSeg(seg)
 	if ack > c.sndUna {
-		// New data acknowledged.
+		// New data acknowledged. (Acked segments' window slots are
+		// simply left behind: slots are seq-tagged, so stale entries
+		// are never misread.)
 		c.sampleRTT(ack)
 		acked := ack - c.sndUna
-		for s := c.sndUna; s < ack; s++ {
-			delete(c.sendTime, s)
-			delete(c.rexmitted, s)
-		}
 		c.sndUna = ack
 		if c.sndNext < ack {
 			c.sndNext = ack
@@ -259,9 +315,7 @@ func (c *Connection) onAck(p *packet.Packet) {
 			c.cwnd += float64(acked) / c.cwnd // congestion avoidance
 		}
 		if c.sndUna == c.sndNext {
-			if c.timer != nil {
-				c.eng.Cancel(c.timer)
-			}
+			c.eng.Cancel(c.timer)
 		} else {
 			c.armTimer()
 		}
@@ -289,14 +343,11 @@ func (c *Connection) sampleRTT(ack uint64) {
 	// Karn's rule: only time segments never retransmitted; use the
 	// oldest segment being cumulatively acknowledged.
 	seq := c.sndUna
-	if c.rexmitted[seq] {
+	rec := &c.txWin[seq&c.winMask]
+	if rec.tag != seq+1 || rec.rexmit {
 		return
 	}
-	t0, ok := c.sendTime[seq]
-	if !ok {
-		return
-	}
-	m := c.eng.Now() - t0
+	m := c.eng.Now() - rec.time
 	if c.srtt == 0 {
 		c.srtt = m
 		c.rttvar = m / 2
@@ -318,25 +369,30 @@ func (c *Connection) onData(p *packet.Packet) {
 	if !ok || seg.IsAck {
 		return
 	}
-	if seg.Seq == c.rcvNext {
+	dataSeq := seg.Seq
+	p.Payload = nil
+	c.putSeg(seg)
+	if dataSeq == c.rcvNext {
 		c.rcvNext++
 		c.stats.Delivered++
-		for c.ooo[c.rcvNext] {
-			delete(c.ooo, c.rcvNext)
+		for c.oooWin[c.rcvNext&c.winMask] == c.rcvNext+1 {
+			c.oooWin[c.rcvNext&c.winMask] = 0
 			c.rcvNext++
 			c.stats.Delivered++
 		}
-	} else if seg.Seq > c.rcvNext {
-		c.ooo[seg.Seq] = true
+	} else if dataSeq > c.rcvNext {
+		c.oooWin[dataSeq&c.winMask] = dataSeq + 1
 	}
 	// Immediate cumulative ACK.
-	ackPkt := &packet.Packet{
-		FlowID:    c.cfg.AckFlowID,
-		Seq:       seg.Seq,
-		Size:      c.cfg.AckBits,
-		Class:     packet.Datagram,
-		CreatedAt: c.eng.Now(),
-		Payload:   &Segment{Ack: c.rcvNext, IsAck: true},
-	}
-	c.net.Inject(c.cfg.ReversePath[0], ackPkt)
+	ackSeg := c.getSeg()
+	ackSeg.Ack = c.rcvNext
+	ackSeg.IsAck = true
+	ackPkt := c.pool.Get()
+	ackPkt.FlowID = c.cfg.AckFlowID
+	ackPkt.Seq = dataSeq
+	ackPkt.Size = c.cfg.AckBits
+	ackPkt.Class = packet.Datagram
+	ackPkt.CreatedAt = c.eng.Now()
+	ackPkt.Payload = ackSeg
+	c.ackIngress.Inject(ackPkt)
 }

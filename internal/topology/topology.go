@@ -25,17 +25,24 @@ type Sink func(p *packet.Packet)
 // Network is a collection of nodes and directed links driven by one engine.
 type Network struct {
 	eng   *sim.Engine
+	pool  *packet.Pool
 	nodes map[string]*Node
 	order []*Node // deterministic iteration
 }
 
 // NewNetwork returns an empty network on the given engine.
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{eng: eng, nodes: make(map[string]*Node)}
+	return &Network{eng: eng, pool: packet.NewPool(), nodes: make(map[string]*Node)}
 }
 
 // Engine returns the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Pool returns the network's packet free list. Sources and transport
+// endpoints allocate from it; the network releases delivered and dropped
+// packets back into it (see the packet.Pool ownership rules). Packets
+// allocated outside the pool are still accepted and simply not recycled.
+func (n *Network) Pool() *packet.Pool { return n.pool }
 
 // AddNode creates a node (switch). It panics on duplicate names.
 func (n *Network) AddNode(name string) *Node {
@@ -88,6 +95,12 @@ func (n *Network) AddLink(from, to string, s sched.Scheduler, bandwidth, propDel
 		limit:     DefaultBufferPackets,
 		util:      stats.NewRateMeter(1.0, 60),
 	}
+	// Prebound event callbacks: the transmit-complete event is the hottest
+	// event in any run (one per packet-hop), so it is scheduled through
+	// the engine's closure-free ScheduleCall path with these two handlers
+	// allocated once per port.
+	p.txDone = p.onTxDone
+	p.deliver = func(arg any) { p.dst.receive(arg.(*packet.Packet)) }
 	src.ports[to] = p
 	src.portOrder = append(src.portOrder, p)
 	return p
@@ -109,14 +122,14 @@ func (n *Network) InstallRoute(flowID uint32, path []string) {
 		if !ok {
 			panic(fmt.Sprintf("topology: no link %s->%s for route", path[i], path[i+1]))
 		}
-		nd.next[flowID] = port
+		nd.setNext(flowID, port)
 	}
 	// Terminal node: ensure no stale onward route.
 	last := n.nodes[path[len(path)-1]]
 	if last == nil {
 		panic(fmt.Sprintf("topology: unknown node %q in route", path[len(path)-1]))
 	}
-	delete(last.next, flowID)
+	last.setNext(flowID, nil)
 }
 
 // PathPorts returns the output ports along a path, in order.
@@ -149,7 +162,9 @@ func (n *Network) FixedDelay(path []string, sizeBits int) float64 {
 }
 
 // Inject introduces a packet at the named node (the host-to-switch link is
-// infinitely fast in the paper's model).
+// infinitely fast in the paper's model). Per-packet callers should resolve
+// the node once and use Node.Inject instead of paying the name lookup each
+// time.
 func (n *Network) Inject(node string, p *packet.Packet) {
 	nd, ok := n.nodes[node]
 	if !ok {
@@ -157,6 +172,11 @@ func (n *Network) Inject(node string, p *packet.Packet) {
 	}
 	nd.receive(p)
 }
+
+// directTableMax bounds the flow ids served by the direct-indexed routing
+// tables on the forwarding fast path; ids at or above it fall back to the
+// maps (which remain the source of truth for every id).
+const directTableMax = 1 << 16
 
 // Node is a switch.
 type Node struct {
@@ -167,6 +187,11 @@ type Node struct {
 	next      map[uint32]*Port // flow id -> output port
 	sinks     map[uint32]Sink
 	defSink   Sink
+
+	// nextTab/sinkTab mirror next/sinks for flow ids below directTableMax:
+	// per-hop forwarding is two slice indexes instead of two map probes.
+	nextTab []*Port
+	sinkTab []Sink
 }
 
 // Name returns the node's name.
@@ -179,27 +204,73 @@ func (nd *Node) Port(to string) *Port { return nd.ports[to] }
 func (nd *Node) Ports() []*Port { return nd.portOrder }
 
 // SetSink registers the consumer for a flow terminating at this node.
-func (nd *Node) SetSink(flowID uint32, s Sink) { nd.sinks[flowID] = s }
+func (nd *Node) SetSink(flowID uint32, s Sink) {
+	nd.sinks[flowID] = s
+	if flowID < directTableMax {
+		nd.sinkTab = growTo(nd.sinkTab, flowID)
+		nd.sinkTab[flowID] = s
+	}
+}
+
+// setNext installs (or, with a nil port, clears) the onward route for a flow.
+func (nd *Node) setNext(flowID uint32, pt *Port) {
+	if pt == nil {
+		delete(nd.next, flowID)
+	} else {
+		nd.next[flowID] = pt
+	}
+	if flowID < directTableMax {
+		nd.nextTab = growTo(nd.nextTab, flowID)
+		nd.nextTab[flowID] = pt
+	}
+}
+
+// growTo pads t with zero entries so index id is addressable.
+func growTo[T any](t []T, id uint32) []T {
+	for uint32(len(t)) <= id {
+		t = append(t, *new(T))
+	}
+	return t
+}
 
 // SetDefaultSink registers a consumer for packets with no onward route and
 // no per-flow sink.
 func (nd *Node) SetDefaultSink(s Sink) { nd.defSink = s }
 
-// receive routes or delivers a packet arriving at this node.
+// Inject introduces a packet at this node — the fast-path equivalent of
+// Network.Inject for callers that resolved the ingress node at setup.
+func (nd *Node) Inject(p *packet.Packet) { nd.receive(p) }
+
+// receive routes or delivers a packet arriving at this node. Delivered
+// packets are released back to the pool after the sink returns, so sinks
+// must not retain them.
 func (nd *Node) receive(p *packet.Packet) {
-	if port, ok := nd.next[p.FlowID]; ok {
-		port.enqueue(p)
-		return
+	id := p.FlowID
+	if id < uint32(len(nd.nextTab)) {
+		if port := nd.nextTab[id]; port != nil {
+			port.enqueue(p)
+			return
+		}
+	} else if id >= directTableMax {
+		if port, ok := nd.next[id]; ok {
+			port.enqueue(p)
+			return
+		}
 	}
-	if s, ok := nd.sinks[p.FlowID]; ok {
-		s(p)
-		return
+	var s Sink
+	if id < uint32(len(nd.sinkTab)) {
+		s = nd.sinkTab[id]
+	} else if id >= directTableMax {
+		s = nd.sinks[id]
 	}
-	if nd.defSink != nil {
-		nd.defSink(p)
-		return
+	if s == nil {
+		s = nd.defSink
 	}
-	panic(fmt.Sprintf("topology: packet for flow %d stranded at %s", p.FlowID, nd.name))
+	if s == nil {
+		panic(fmt.Sprintf("topology: packet for flow %d stranded at %s", p.FlowID, nd.name))
+	}
+	s(p)
+	packet.Release(p)
 }
 
 // Port is the output side of a directed link: a scheduler, a buffer limit
@@ -212,8 +283,14 @@ type Port struct {
 	bandwidth  float64
 	propDelay  float64
 	limit      int
+	qlen       int // mirrors sched.Len(), avoiding interface calls per packet
 	busy       bool
 	retryArmed bool // a wake-up is scheduled for a non-work-conserving scheduler
+
+	// txDone/deliver are the prebound transmit-complete and
+	// propagation-arrival event callbacks (see AddLink).
+	txDone  func(any)
+	deliver func(any)
 
 	// DiscardOffset, if positive, drops packets whose accumulated
 	// jitter offset exceeds it at dequeue time — the Section 10 "late
@@ -284,7 +361,7 @@ func (pt *Port) enqueue(p *packet.Packet) {
 	// service commitment at the buffer even though WFQ protects it at
 	// the scheduler (conforming guaranteed flows occupy little buffer,
 	// so the soft total limit is at most briefly exceeded).
-	full := pt.sched.Len() >= pt.limit
+	full := pt.qlen >= pt.limit
 	if p.Class == packet.Guaranteed {
 		full = pt.lenByClass[packet.Guaranteed] >= pt.limit
 	}
@@ -293,11 +370,13 @@ func (pt *Port) enqueue(p *packet.Packet) {
 		if int(p.Class) < len(pt.dropsByClass) {
 			pt.dropsByClass[p.Class]++
 		}
+		packet.Release(p)
 		return
 	}
 	if int(p.Class) < len(pt.lenByClass) {
 		pt.lenByClass[p.Class]++
 	}
+	pt.qlen++
 	p.ArrivedAt = now
 	pt.sched.Enqueue(p, now)
 	if !pt.busy {
@@ -340,11 +419,13 @@ func (pt *Port) transmitNext() {
 			pt.scheduleRetry(now)
 			return
 		}
+		pt.qlen--
 		if int(p.Class) < len(pt.lenByClass) {
 			pt.lenByClass[p.Class]--
 		}
 		if pt.DiscardOffset > 0 && p.JitterOffset > pt.DiscardOffset {
 			pt.discarded++
+			packet.Release(p)
 			continue
 		}
 		break
@@ -356,15 +437,18 @@ func (pt *Port) transmitNext() {
 	if pt.OnTransmit != nil {
 		pt.OnTransmit(p, now)
 	}
-	eng.Schedule(tx, func() {
-		p.Hops++
-		prop := pt.propDelay
-		dst := pt.dst
-		if prop > 0 {
-			eng.Schedule(prop, func() { dst.receive(p) })
-		} else {
-			dst.receive(p)
-		}
-		pt.transmitNext()
-	})
+	eng.ScheduleCall(tx, pt.txDone, p)
+}
+
+// onTxDone fires when a packet finishes serialization onto the link: hand
+// it to the far end (after propagation, if any) and start the next one.
+func (pt *Port) onTxDone(arg any) {
+	p := arg.(*packet.Packet)
+	p.Hops++
+	if pt.propDelay > 0 {
+		pt.node.net.eng.ScheduleCall(pt.propDelay, pt.deliver, p)
+	} else {
+		pt.dst.receive(p)
+	}
+	pt.transmitNext()
 }

@@ -136,9 +136,11 @@ func NewPolicedSource(src Source, rate, depth float64) *source.Policed {
 	return source.NewPoliced(src, rate, depth)
 }
 
-// StartSource attaches src to a flow: generated packets are injected at the
-// flow's first switch (subject to the flow's edge policing).
+// StartSource attaches src to a flow: generated packets are allocated from
+// the network's packet pool and injected at the flow's first switch
+// (subject to the flow's edge policing).
 func StartSource(n *Network, src Source, f *Flow) {
+	source.AttachPool(src, n.Pool())
 	src.Start(n.Engine(), func(p *Packet) { f.Inject(p) })
 }
 
