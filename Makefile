@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench
+.PHONY: ci vet build examples test scenario-check bench-smoke bench
 
-ci: vet build test bench-smoke
+ci: vet build examples test scenario-check bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -10,8 +10,18 @@ vet:
 build:
 	$(GO) build ./...
 
+# Build every runnable example explicitly (they are also covered by build,
+# but this target keeps them honest if the module layout changes).
+examples:
+	$(GO) build ./examples/...
+
 test:
 	$(GO) test ./...
+
+# Parse and validate the whole scenario library without simulating; the
+# full parse+simulate round trip runs under test (TestLibraryParsesAndSimulates).
+scenario-check:
+	$(GO) run ./cmd/ispnsim check scenarios/*.ispn
 
 # One-iteration benchmark smoke run: catches harness regressions (and the
 # zero-alloc steady state via -benchmem) without the cost of full timing.

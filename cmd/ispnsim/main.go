@@ -1,9 +1,13 @@
 // Command ispnsim regenerates every table and figure of Clark, Shenker &
-// Zhang (SIGCOMM 1992) plus the ablation studies in DESIGN.md.
+// Zhang (SIGCOMM 1992) plus the ablation studies in DESIGN.md, and runs
+// declarative .ispn scenario files (see docs/SCENARIO.md).
 //
 // Usage:
 //
-//	ispnsim [-duration s] [-seed n] <experiment>
+//	ispnsim [-duration s] [-seed n] [-parallel n] <experiment>
+//	ispnsim [-seed n] [-horizon s] run <file.ispn>...
+//	ispnsim [-seed n] check <file.ispn>...
+//	ispnsim scenarios [dir]
 //
 // where <experiment> is one of: table1, table2, table3, figure1, all,
 // ablation-isolation, ablation-hops, admission, playback, discard.
@@ -13,13 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ispn/internal/experiments"
+	"ispn/internal/scenario"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: ispnsim [flags] <experiment>
+       ispnsim [flags] run <file.ispn>...
+       ispnsim [flags] check <file.ispn>...
+       ispnsim scenarios [dir]
 
 experiments:
   table1              paper Table 1: WFQ vs FIFO on one link
@@ -36,23 +45,106 @@ experiments:
   dist                extension: full delay distributions (ASCII histogram)
   all                 everything above
 
+scenarios:
+  run <file.ispn>...  simulate scenario files (in parallel when several)
+  check <file.ispn>.. parse and validate scenario files without running
+  scenarios [dir]     list the scenario library (default dir: scenarios)
+
 flags:
 `)
 	flag.PrintDefaults()
 }
 
+// scenarioOptions translates explicitly set flags into compile overrides, so
+// a file's own Run(seed ..., horizon ...) knobs win unless the user asked.
+func scenarioOptions(seed int64, horizon float64) scenario.Options {
+	opts := scenario.Options{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			opts.Seed = seed
+			opts.SeedSet = true
+		case "horizon":
+			opts.Horizon = horizon
+		}
+	})
+	return opts
+}
+
+// scenarioMain handles the run/check/scenarios verbs; it returns false when
+// name is a classic experiment instead.
+func scenarioMain(name string, args []string, seed int64, horizon float64) bool {
+	switch name {
+	case "run":
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "ispnsim run: need at least one .ispn file")
+			os.Exit(2)
+		}
+		start := time.Now()
+		results, err := experiments.RunScenarios(args, scenarioOptions(seed, horizon))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			fmt.Println(res.Report.Format())
+		}
+		fmt.Printf("[%d scenario(s): %.1fs wall clock]\n", len(results), time.Since(start).Seconds())
+	case "check":
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "ispnsim check: need at least one .ispn file")
+			os.Exit(2)
+		}
+		if err := experiments.CheckScenarios(args, scenarioOptions(seed, horizon)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d scenario(s) OK\n", len(args))
+	case "scenarios":
+		dir := "scenarios"
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		infos, err := experiments.ListScenarios(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, info := range infos {
+			fmt.Printf("%s (%s)\n", info.Name, info.Path)
+			if info.Description != "" {
+				for _, line := range strings.Split(info.Description, "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+			fmt.Println()
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 func main() {
 	duration := flag.Float64("duration", 600, "simulated seconds per run (paper: 600)")
-	seed := flag.Int64("seed", 1992, "random seed")
+	seed := flag.Int64("seed", 1992, "random seed (scenarios: overrides the file's Run seed)")
+	horizon := flag.Float64("horizon", 0, "scenario horizon override in simulated seconds (0 = the file's Run horizon)")
 	parallel := flag.Int("parallel", 0, "worker count for independent sub-simulations (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	if *parallel > 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon) {
+		return
+	}
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
 	}
 	cfg := experiments.RunConfig{Duration: *duration, Seed: *seed}
 

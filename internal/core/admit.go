@@ -19,7 +19,7 @@ func (n *Network) controller(pt *topology.Port) *admission.Controller {
 	}
 	u := n.uni[pt]
 	c := admission.New(admission.Config{
-		LinkRate:     n.cfg.LinkRate,
+		LinkRate:     pt.Bandwidth(),
 		Quota:        1 - n.cfg.DatagramQuota,
 		ClassTargets: n.cfg.ClassTargets,
 		ClassDelay: func(class int, now float64) float64 {

@@ -136,17 +136,27 @@ func (n *Network) RNG(name string) *sim.RNG { return sim.DeriveRNG(n.cfg.Seed, n
 // AddSwitch adds a switch.
 func (n *Network) AddSwitch(name string) { n.topo.AddNode(name) }
 
-// Connect adds a unidirectional link from -> to running a unified scheduler.
+// Connect adds a unidirectional link from -> to running a unified scheduler,
+// at the network-wide default bandwidth and propagation delay.
 func (n *Network) Connect(from, to string) *topology.Port {
+	return n.ConnectWith(from, to, n.cfg.LinkRate, n.cfg.PropDelay)
+}
+
+// ConnectWith adds a unidirectional link from -> to running a unified
+// scheduler, with an explicit bandwidth (bits/s) and propagation delay
+// (seconds). Scenario files use this to build heterogeneous topologies
+// (fast access links feeding a slow WAN bottleneck); Connect is the
+// homogeneous shorthand.
+func (n *Network) ConnectWith(from, to string, rate, propDelay float64) *topology.Port {
 	u := sched.NewUnified(sched.UnifiedConfig{
-		LinkRate:         n.cfg.LinkRate,
+		LinkRate:         rate,
 		PredictedClasses: n.cfg.PredictedClasses,
 		FIFOPlusGain:     n.cfg.FIFOPlusGain,
 		PlainFIFO:        n.cfg.Sharing == SharingFIFO,
 		RoundRobin:       n.cfg.Sharing == SharingRoundRobin,
 		MaxPacketBits:    n.cfg.MaxPacketBits,
 	})
-	port := n.topo.AddLink(from, to, u, n.cfg.LinkRate, n.cfg.PropDelay)
+	port := n.topo.AddLink(from, to, u, rate, propDelay)
 	port.SetBufferLimit(n.cfg.BufferPackets)
 	n.uni[port] = u
 	return port
@@ -279,9 +289,9 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 		if u == nil {
 			return nil, fmt.Errorf("core: port %s does not run the unified scheduler", pt.Name())
 		}
-		if u.Reserved()+spec.ClockRate > (1-n.cfg.DatagramQuota)*n.cfg.LinkRate {
+		if u.Reserved()+spec.ClockRate > (1-n.cfg.DatagramQuota)*pt.Bandwidth() {
 			return nil, fmt.Errorf("core: link %s cannot reserve %v bits/s (reserved %v, quota %v)",
-				pt.Name(), spec.ClockRate, u.Reserved(), (1-n.cfg.DatagramQuota)*n.cfg.LinkRate)
+				pt.Name(), spec.ClockRate, u.Reserved(), (1-n.cfg.DatagramQuota)*pt.Bandwidth())
 		}
 		if n.cfg.AdmissionControl {
 			if err := n.admitGuaranteed(pt, spec.ClockRate); err != nil {

@@ -4,6 +4,13 @@
 // rows shaped like the paper's tables. Delays are reported in the paper's
 // unit: one packet transmission time (1 ms for 1000-bit packets on 1 Mbit/s
 // links).
+//
+// The package also hosts the parallel harness every multi-simulation
+// workload shares: ForEach fans independent sub-simulations across a
+// worker pool with bit-identical-to-sequential results, and
+// RunScenarios/ListScenarios/CheckScenarios drive batches of declarative
+// .ispn scenario files (internal/scenario) through it for the ispnsim
+// run/check/scenarios CLI verbs.
 package experiments
 
 import "fmt"

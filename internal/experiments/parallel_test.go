@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"ispn/internal/scenario"
 )
 
 // TestParallelMatchesSequential asserts the acceptance criterion of the
@@ -33,6 +36,46 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	if got, want := FormatHops(parHops), FormatHops(seqHops); got != want {
 		t.Errorf("FormatHops differs:\nseq:\n%s\npar:\n%s", want, got)
+	}
+}
+
+// TestParallelScenariosMatchSequential extends the bit-identical guarantee
+// to declarative scenario batches: running the whole library through
+// RunScenarios with 8 workers must produce byte-for-byte the reports the
+// sequential runner produces, fixed seed included.
+func TestParallelScenariosMatchSequential(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.ispn"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("scenario library not found: %v (%d files)", err, len(paths))
+	}
+	opts := scenario.Options{Seed: 424242, Horizon: 3}
+
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	seq, err := RunScenarios(paths, opts)
+	if err != nil {
+		t.Fatalf("sequential RunScenarios: %v", err)
+	}
+
+	SetParallelism(8)
+	par, err := RunScenarios(paths, opts)
+	if err != nil {
+		t.Fatalf("parallel RunScenarios: %v", err)
+	}
+
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Path != par[i].Path {
+			t.Errorf("result %d order differs: %s vs %s", i, seq[i].Path, par[i].Path)
+		}
+		if got, want := par[i].Report.Format(), seq[i].Report.Format(); got != want {
+			t.Errorf("%s: parallel != sequential:\nseq:\n%s\npar:\n%s", seq[i].Path, want, got)
+		}
+		if !reflect.DeepEqual(seq[i].Report, par[i].Report) {
+			t.Errorf("%s: structured reports differ", seq[i].Path)
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ispn/internal/scenario"
+)
+
+// ScenarioResult is one scenario's formatted outcome in a batch run.
+type ScenarioResult struct {
+	Path   string
+	Report *scenario.Report
+}
+
+// RunScenarios parses the given .ispn files, then compiles and simulates
+// them fanned across the ForEach worker pool. Parsing and validation happen
+// up front and sequentially, so a malformed file fails fast with its
+// file:line:col diagnostic before any simulation starts. Results come back
+// in input order and — because each scenario owns its engine and derives
+// every random stream from (seed, element name) — are bit-identical whatever
+// the parallelism.
+func RunScenarios(paths []string, opts scenario.Options) ([]ScenarioResult, error) {
+	sims := make([]*scenario.Sim, len(paths))
+	for i, path := range paths {
+		f, err := scenario.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		sims[i], err = scenario.Compile(f, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Each Sim owns its engine and network, so the compiled sims can run
+	// concurrently as they are.
+	results := make([]ScenarioResult, len(paths))
+	ForEach(len(sims), func(i int) {
+		results[i] = ScenarioResult{Path: paths[i], Report: sims[i].Run()}
+	})
+	return results, nil
+}
+
+// ScenarioInfo describes one library file for "ispnsim scenarios".
+type ScenarioInfo struct {
+	Path        string
+	Name        string
+	Description string
+}
+
+// ListScenarios parses every .ispn file under dir (sorted by name).
+// Unparseable files are reported, not skipped — the library must stay
+// clean.
+func ListScenarios(dir string) ([]ScenarioInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScenarioInfo
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ispn") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := scenario.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScenarioInfo{Path: path, Name: f.Name, Description: f.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no .ispn files in %s", dir)
+	}
+	return out, nil
+}
+
+// CheckScenarios parses and compiles (but does not run) every given file,
+// returning the first diagnostic.
+func CheckScenarios(paths []string, opts scenario.Options) error {
+	for _, path := range paths {
+		f, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := scenario.Compile(f, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

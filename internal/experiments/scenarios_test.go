@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ispn/internal/scenario"
+)
+
+const libraryDir = "../../scenarios"
+
+func TestListScenarios(t *testing.T) {
+	infos, err := ListScenarios(libraryDir)
+	if err != nil {
+		t.Fatalf("ListScenarios: %v", err)
+	}
+	if len(infos) < 6 {
+		t.Fatalf("library lists %d scenarios, want >= 6", len(infos))
+	}
+	for i, info := range infos {
+		if info.Description == "" {
+			t.Errorf("%s has no description", info.Name)
+		}
+		if i > 0 && infos[i-1].Name > info.Name {
+			t.Errorf("listing not sorted: %s before %s", infos[i-1].Name, info.Name)
+		}
+	}
+	if _, err := ListScenarios(t.TempDir()); err == nil {
+		t.Error("empty dir listed without error")
+	}
+}
+
+func TestCheckScenarios(t *testing.T) {
+	paths, _ := filepath.Glob(filepath.Join(libraryDir, "*.ispn"))
+	if err := CheckScenarios(paths, scenario.Options{}); err != nil {
+		t.Errorf("library fails check: %v", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.ispn")
+	if err := os.WriteFile(bad, []byte("a -> b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckScenarios([]string{bad}, scenario.Options{})
+	if err == nil {
+		t.Fatal("malformed scenario passed check")
+	}
+	if !strings.Contains(err.Error(), "bad.ispn:1:1:") {
+		t.Errorf("check error %q lacks file:line:col", err.Error())
+	}
+}
+
+func TestRunScenariosReportsCompileErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.ispn")
+	if err := os.WriteFile(bad, []byte("x :: Widget\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScenarios([]string{bad}, scenario.Options{}); err == nil {
+		t.Fatal("RunScenarios accepted an invalid file")
+	}
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import "math"
+
+// argSet gives the compiler typed, dimension-checked access to a
+// declaration's arguments. Every getter records the first error it hits in
+// the compiler (with the argument's position) and returns the default, so a
+// compile pass reports the earliest diagnostic rather than panicking.
+type argSet struct {
+	c    *compiler
+	decl *Decl
+	pos  []Value  // positional arguments in order
+	slot []string // argument name each positional slot can stand in for
+}
+
+func (c *compiler) argsOf(d *Decl) *argSet {
+	a := &argSet{c: c, decl: d}
+	for _, arg := range d.Args {
+		if arg.Name == "" {
+			a.pos = append(a.pos, arg.Value)
+		}
+	}
+	return a
+}
+
+// lookup finds a named argument, falling back to the positional argument at
+// index posIdx (or none when posIdx < 0). Giving the same argument both ways
+// is an error, not a silent shadow.
+func (a *argSet) lookup(name string, posIdx int) (Value, bool) {
+	if posIdx >= 0 {
+		for len(a.slot) <= posIdx {
+			a.slot = append(a.slot, "")
+		}
+		a.slot[posIdx] = name
+	}
+	for _, arg := range a.decl.Args {
+		if arg.Name == name {
+			if posIdx >= 0 && posIdx < len(a.pos) {
+				a.c.failf(a.pos[posIdx].Pos, "argument %q is already given by name", name)
+			}
+			return arg.Value, true
+		}
+	}
+	if posIdx >= 0 && posIdx < len(a.pos) {
+		return a.pos[posIdx], true
+	}
+	return Value{}, false
+}
+
+// finish rejects unknown and duplicate named arguments and excess
+// positional ones; known lists the accepted keys in documentation order.
+// Call it after every getter, so the positional slots are declared.
+func (a *argSet) finish(known ...string) {
+	ok := make(map[string]bool, len(known))
+	for _, k := range known {
+		ok[k] = true
+	}
+	seen := make(map[string]bool, len(a.decl.Args))
+	for _, arg := range a.decl.Args {
+		if arg.Name == "" {
+			continue
+		}
+		if !ok[arg.Name] {
+			a.c.failf(arg.NamePos, "%s has no argument %q (accepted: %s)",
+				a.decl.Kind, arg.Name, joinWords(known))
+			return
+		}
+		if seen[arg.Name] {
+			a.c.failf(arg.NamePos, "argument %q given twice", arg.Name)
+			return
+		}
+		seen[arg.Name] = true
+	}
+	if len(a.pos) > len(a.slot) {
+		a.c.failf(a.pos[len(a.slot)].Pos, "%s takes at most %d positional argument(s), got %d",
+			a.decl.Kind, len(a.slot), len(a.pos))
+	}
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += ", "
+		}
+		out += w
+	}
+	return out
+}
+
+// given reports whether the argument was written in the file (by name or in
+// positional slot posIdx) and where, without consuming it.
+func (a *argSet) given(name string, posIdx int) (Pos, bool) {
+	for _, arg := range a.decl.Args {
+		if arg.Name == name {
+			return arg.Value.Pos, true
+		}
+	}
+	if posIdx >= 0 && posIdx < len(a.pos) {
+		return a.pos[posIdx].Pos, true
+	}
+	return Pos{}, false
+}
+
+// number converts a NumberVal to the wanted dimension. Bare numbers are
+// accepted for every dimension (interpreted in its base unit: bits/s, bits,
+// seconds, packets/s, or a plain fraction).
+func (a *argSet) number(v Value, want dimension, name string) float64 {
+	if v.Kind != NumberVal {
+		a.c.failf(v.Pos, "argument %q must be %s", name, want)
+		return 0
+	}
+	if v.Unit == "" {
+		return v.Num
+	}
+	u := units[v.Unit]
+	if u.dim != want && !(want == dimFraction && v.Unit == "%") {
+		a.c.failf(v.Pos, "argument %q must be %s, got %q", name, want, v.Unit)
+		return 0
+	}
+	return v.Num * u.mult
+}
+
+func (a *argSet) dimensioned(name string, posIdx int, want dimension, def float64) float64 {
+	v, ok := a.lookup(name, posIdx)
+	if !ok {
+		return def
+	}
+	return a.number(v, want, name)
+}
+
+func (a *argSet) bitrate(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimBitrate, def)
+}
+
+func (a *argSet) bits(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimBits, def)
+}
+
+func (a *argSet) duration(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimTime, def)
+}
+
+func (a *argSet) pktRate(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimPktRate, def)
+}
+
+func (a *argSet) fraction(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimFraction, def)
+}
+
+func (a *argSet) count(name string, posIdx int, def int) int {
+	v, ok := a.lookup(name, posIdx)
+	if !ok {
+		return def
+	}
+	n := a.number(v, dimNone, name)
+	if n != math.Trunc(n) || n < 0 {
+		a.c.failf(v.Pos, "argument %q must be a non-negative integer, got %v", name, n)
+		return def
+	}
+	return int(n)
+}
+
+func (a *argSet) boolean(name string, def bool) bool {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return def
+	}
+	if v.Kind == IdentVal {
+		switch v.Str {
+		case "on", "true", "yes":
+			return true
+		case "off", "false", "no":
+			return false
+		}
+	}
+	a.c.failf(v.Pos, "argument %q must be on/off", name)
+	return def
+}
+
+func (a *argSet) enum(name string, def string, allowed ...string) string {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return def
+	}
+	if v.Kind == IdentVal {
+		for _, s := range allowed {
+			if v.Str == s {
+				return s
+			}
+		}
+	}
+	a.c.failf(v.Pos, "argument %q must be one of: %s", name, joinWords(allowed))
+	return def
+}
+
+// path returns a route argument as node names. Required paths that are
+// missing are reported at the declaration's kind position.
+func (a *argSet) path(name string, required bool) []Name {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		if required {
+			a.c.failf(a.decl.KindPos, "%s requires a %q argument (e.g. %s A -> B)",
+				a.decl.Kind, name, name)
+		}
+		return nil
+	}
+	switch v.Kind {
+	case PathVal:
+		return v.Path
+	case IdentVal:
+		// A single-switch "path" is meaningless (flows need ≥ 1 link).
+		a.c.failf(v.Pos, "argument %q needs at least two switches (A -> B)", name)
+	default:
+		a.c.failf(v.Pos, "argument %q must be a path (A -> B -> C)", name)
+	}
+	return nil
+}
+
+// fracList returns a list argument of fractions (used for percentiles).
+func (a *argSet) fracList(name string, def []float64) []float64 {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return def
+	}
+	if v.Kind != ListVal {
+		a.c.failf(v.Pos, "argument %q must be a list like [50%%, 99%%]", name)
+		return def
+	}
+	out := make([]float64, 0, len(v.List))
+	for _, item := range v.List {
+		f := a.number(item, dimFraction, name)
+		if f <= 0 || f >= 1 {
+			a.c.failf(item.Pos, "percentile must be in (0%%, 100%%), got %v", f)
+			return def
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// durList returns a list argument of durations (used for class targets).
+func (a *argSet) durList(name string, def []float64) []float64 {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return def
+	}
+	if v.Kind != ListVal {
+		a.c.failf(v.Pos, "argument %q must be a list like [32ms, 320ms]", name)
+		return def
+	}
+	out := make([]float64, 0, len(v.List))
+	for _, item := range v.List {
+		out = append(out, a.number(item, dimTime, name))
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package scenario
+
+// The scenario AST. A file is a flat list of statements: element
+// declarations ("name :: Kind(args)") and chains ("A -> B -> C"). Chains do
+// double duty, resolved by the compiler from the kinds of their endpoints:
+// between switches they are links; from a traffic source (optionally through
+// TokenBucket filters) to a flow they are attachments.
+
+// File is one parsed scenario.
+type File struct {
+	// Path is the location the file was read from ("" when parsed from
+	// memory); Name is its base name without the .ispn extension.
+	Path string
+	Name string
+	// Description is the comment block at the top of the file.
+	Description string
+
+	// Decls and Chains each preserve file order; the compiler walks
+	// Decls in order, so e.g. flow ids are stable across runs.
+	Decls  []*Decl
+	Chains []*Chain
+}
+
+// Decl declares one or more elements of a kind: "a, b :: Switch" or
+// "conf :: Predicted(rate 85kbps, ...)".
+type Decl struct {
+	Names   []Name
+	Kind    string
+	KindPos Pos
+	Args    []Arg
+}
+
+// Name is an identifier with its position.
+type Name struct {
+	Text string
+	Pos  Pos
+}
+
+// Chain is "A -> B <-> C ...", optionally suffixed ":: Link(args)".
+type Chain struct {
+	Ends []Name
+	// Duplex[i] reports whether the arrow between Ends[i] and Ends[i+1]
+	// was "<->".
+	Duplex []bool
+	Attrs  []Arg
+}
+
+// Arg is one argument: "key value" or a positional bare value.
+type Arg struct {
+	Name    string // "" for positional
+	NamePos Pos
+	Value   Value
+}
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	NumberVal ValueKind = iota // 85, 50kbit, 99.9%
+	StringVal                  // "…"
+	IdentVal                   // fifo+, on, S1
+	ListVal                    // [v, v, …]
+	PathVal                    // S1 -> S2 -> S3
+)
+
+// Value is an argument value.
+type Value struct {
+	Pos  Pos
+	Kind ValueKind
+
+	Num  float64 // NumberVal: magnitude (unit not yet applied)
+	Unit string  // NumberVal: source unit ("" bare, "%" percent, "ms", "kbps", …)
+	Str  string  // StringVal / IdentVal
+	List []Value // ListVal
+	Path []Name  // PathVal endpoints, ≥ 2
+}

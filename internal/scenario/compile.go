@@ -1,0 +1,723 @@
+package scenario
+
+import (
+	"sort"
+
+	"ispn/internal/core"
+	"ispn/internal/packet"
+	"ispn/internal/sim"
+	"ispn/internal/source"
+	"ispn/internal/tcp"
+)
+
+// Options adjusts a compile without editing the file.
+type Options struct {
+	// Seed overrides the file's Run seed when nonzero (or whenever
+	// SeedSet says so). The seed feeds every random stream, including
+	// seeded topology generators.
+	Seed int64
+	// SeedSet forces the Seed override even for the value 0, which the
+	// zero-sentinel convention above cannot express (the CLI uses this
+	// so `-seed 0` means seed 0).
+	SeedSet bool
+	// Horizon overrides the file's Run horizon (simulated seconds) when
+	// positive.
+	Horizon float64
+}
+
+// Defaults a scenario starts from when its file leaves a knob unset.
+const (
+	DefaultSeed      = 1992 // the paper's year
+	DefaultHorizon   = 60.0 // seconds
+	DefaultLinkRate  = 1e6  // bits/s
+	DefaultPktBits   = 1000 // bits
+	DefaultBucketPkt = 50   // token bucket depth in packets (the paper's 50)
+)
+
+// DefaultPercentiles are reported when a Run declaration names none.
+var DefaultPercentiles = []float64{0.50, 0.99, 0.999}
+
+// elemClass buckets element kinds for chain resolution.
+type elemClass int
+
+const (
+	classConfig elemClass = iota // Net, Run
+	classSwitch
+	classGenerator
+	classFlow   // Guaranteed, Predicted, Datagram
+	classTCP    // TCP
+	classSource // Markov, CBR, Poisson
+	classFilter // TokenBucket
+)
+
+var kindClass = map[string]elemClass{
+	"Net": classConfig, "Run": classConfig,
+	"Switch": classSwitch,
+	"Star":   classGenerator, "Dumbbell": classGenerator,
+	"ParkingLot": classGenerator, "Random": classGenerator,
+	"Guaranteed": classFlow, "Predicted": classFlow, "Datagram": classFlow,
+	"TCP":    classTCP,
+	"Markov": classSource, "CBR": classSource, "Poisson": classSource,
+	"TokenBucket": classFilter,
+}
+
+func kindNames() []string {
+	out := make([]string, 0, len(kindClass))
+	for k := range kindClass {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sim is a compiled, runnable scenario.
+type Sim struct {
+	File        *File
+	Net         *core.Network
+	Seed        int64
+	Horizon     float64
+	Percentiles []float64
+	Flows       []*SimFlow
+	TCPs        []*SimTCP
+
+	starts []func()
+	report *Report
+}
+
+// SimFlow is one admitted flow with its scenario name and attached traffic.
+type SimFlow struct {
+	Name string
+	Kind string // Guaranteed / Predicted / Datagram
+	Flow *core.Flow
+
+	filters []*source.Policed // TokenBucket elements feeding this flow
+}
+
+// EdgeDropped counts packets refused entry: by the flow's own edge policer
+// and by any TokenBucket filters on its attachment chains.
+func (f *SimFlow) EdgeDropped() int64 {
+	n := f.Flow.PolicerStats().Dropped
+	for _, p := range f.filters {
+		n += p.Stats().Dropped
+	}
+	return n
+}
+
+// SimTCP is one TCP connection with its scenario name.
+type SimTCP struct {
+	Name    string
+	Conn    *tcp.Connection
+	StartAt float64
+}
+
+// Compile lowers a parsed file onto a fresh network. The returned Sim has
+// every switch, link, flow, and connection wired and every source armed;
+// call Run to simulate.
+func Compile(f *File, opts Options) (*Sim, error) {
+	c := &compiler{file: f, opts: opts}
+	s := c.compile()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return s, nil
+}
+
+// Load is ParseFile followed by Compile.
+func Load(path string, opts Options) (*Sim, error) {
+	f, err := ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f, opts)
+}
+
+// Run starts every source and connection, advances the engine to the
+// horizon, and summarizes. Subsequent calls return the same report.
+func (s *Sim) Run() *Report {
+	if s.report != nil {
+		return s.report
+	}
+	for _, fn := range s.starts {
+		fn()
+	}
+	s.Net.Run(s.Horizon)
+	s.report = s.buildReport()
+	return s.report
+}
+
+type compiler struct {
+	file *File
+	opts Options
+	err  *Error
+
+	seed        int64
+	horizon     float64
+	percentiles []float64
+
+	net      *core.Network
+	decls    map[string]*Decl // element name -> declaring decl
+	switches map[string]bool  // includes generator-produced names
+	links    map[[2]string]bool
+	attached map[string]int // source/filter element name -> use count
+
+	flows  map[string]*SimFlow
+	nextID uint32
+
+	out *Sim
+}
+
+func (c *compiler) failf(pos Pos, format string, args ...any) {
+	if c.err == nil {
+		c.err = errf(c.file.Path, pos, format, args...)
+	}
+}
+
+func (c *compiler) ok() bool { return c.err == nil }
+
+func (c *compiler) compile() *Sim {
+	c.decls = make(map[string]*Decl)
+	c.switches = make(map[string]bool)
+	c.links = make(map[[2]string]bool)
+	c.attached = make(map[string]int)
+	c.flows = make(map[string]*SimFlow)
+	c.nextID = 1
+
+	// Pass 1: register every declared name and locate Net/Run.
+	var netDecl, runDecl *Decl
+	for _, d := range c.file.Decls {
+		cls, known := kindClass[d.Kind]
+		if !known {
+			c.failf(d.KindPos, "unknown element kind %q (kinds: %s)", d.Kind, joinWords(kindNames()))
+			return nil
+		}
+		if cls == classGenerator && len(d.Names) != 1 {
+			c.failf(d.Names[1].Pos, "%s declares a topology namespace and takes exactly one name", d.Kind)
+			return nil
+		}
+		for _, n := range d.Names {
+			if prev, dup := c.decls[n.Text]; dup {
+				c.failf(n.Pos, "name %q already declared as %s at line %d", n.Text, prev.Kind, prev.Names[0].Pos.Line)
+				return nil
+			}
+			c.decls[n.Text] = d
+		}
+		switch d.Kind {
+		case "Net":
+			if netDecl != nil {
+				c.failf(d.KindPos, "duplicate Net declaration (first at line %d)", netDecl.KindPos.Line)
+				return nil
+			}
+			netDecl = d
+		case "Run":
+			if runDecl != nil {
+				c.failf(d.KindPos, "duplicate Run declaration (first at line %d)", runDecl.KindPos.Line)
+				return nil
+			}
+			runDecl = d
+		}
+	}
+
+	// Pass 2: run knobs, then the network itself.
+	c.runKnobs(runDecl)
+	cfg := c.netConfig(netDecl)
+	if !c.ok() {
+		return nil
+	}
+	c.net = core.New(cfg)
+	c.out = &Sim{
+		File:        c.file,
+		Net:         c.net,
+		Seed:        c.seed,
+		Horizon:     c.horizon,
+		Percentiles: c.percentiles,
+	}
+
+	// Pass 3: topology — switch declarations and generators, in order.
+	for _, d := range c.file.Decls {
+		if !c.ok() {
+			return nil
+		}
+		switch kindClass[d.Kind] {
+		case classSwitch:
+			for _, n := range d.Names {
+				c.addSwitch(n.Text, n.Pos)
+			}
+			c.argsOf(d).finish()
+		case classGenerator:
+			c.generate(d)
+		}
+	}
+
+	// Pass 4: explicit links (chains whose endpoints are all switches).
+	var attachments []*Chain
+	for _, ch := range c.file.Chains {
+		if !c.ok() {
+			return nil
+		}
+		if c.isLinkChain(ch) {
+			c.linkChain(ch)
+		} else {
+			attachments = append(attachments, ch)
+		}
+	}
+
+	// Pass 5: flows and TCP connections, in declaration order (ids are
+	// assigned sequentially, so reports and random streams are stable).
+	for _, d := range c.file.Decls {
+		if !c.ok() {
+			return nil
+		}
+		switch kindClass[d.Kind] {
+		case classFlow:
+			c.flowDecl(d)
+		case classTCP:
+			c.tcpDecl(d)
+		}
+	}
+
+	// Pass 6: attachment chains (source -> [TokenBucket ->] flow).
+	for _, ch := range attachments {
+		if !c.ok() {
+			return nil
+		}
+		c.attachChain(ch)
+	}
+
+	// Validator epilogue: every traffic element must be used.
+	for _, d := range c.file.Decls {
+		cls := kindClass[d.Kind]
+		if cls != classSource && cls != classFilter {
+			continue
+		}
+		for _, n := range d.Names {
+			if c.attached[n.Text] == 0 {
+				c.failf(n.Pos, "%s %q is never attached to a flow (add: %s -> someflow)", d.Kind, n.Text, n.Text)
+			}
+		}
+	}
+	if !c.ok() {
+		return nil
+	}
+	return c.out
+}
+
+func (c *compiler) runKnobs(d *Decl) {
+	c.seed = DefaultSeed
+	c.horizon = DefaultHorizon
+	c.percentiles = DefaultPercentiles
+	if d != nil {
+		a := c.argsOf(d)
+		c.seed = int64(a.count("seed", 0, int(DefaultSeed)))
+		c.horizon = a.duration("horizon", 1, DefaultHorizon)
+		c.percentiles = a.fracList("percentiles", DefaultPercentiles)
+		a.finish("seed", "horizon", "percentiles")
+		if c.horizon <= 0 {
+			c.failf(d.KindPos, "horizon must be positive, got %v", c.horizon)
+		}
+	}
+	if c.opts.SeedSet || c.opts.Seed != 0 {
+		c.seed = c.opts.Seed
+	}
+	if c.opts.Horizon > 0 {
+		c.horizon = c.opts.Horizon
+	}
+}
+
+func (c *compiler) netConfig(d *Decl) core.Config {
+	cfg := core.Config{Seed: c.seed}
+	if d == nil {
+		return cfg
+	}
+	a := c.argsOf(d)
+	cfg.LinkRate = a.bitrate("rate", 0, 0)
+	cfg.PredictedClasses = a.count("classes", -1, 0)
+	cfg.ClassTargets = a.durList("targets", nil)
+	cfg.BufferPackets = a.count("buffer", -1, 0)
+	cfg.DatagramQuota = a.fraction("quota", -1, 0)
+	cfg.MaxPacketBits = a.count("maxpkt", -1, 0)
+	cfg.PropDelay = a.duration("propdelay", -1, 0)
+	cfg.AdmissionControl = a.boolean("admission", false)
+	switch a.enum("sharing", "fifoplus", "fifoplus", "fifo", "rr") {
+	case "fifo":
+		cfg.Sharing = core.SharingFIFO
+	case "rr":
+		cfg.Sharing = core.SharingRoundRobin
+	}
+	a.finish("rate", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing")
+	// core.Config treats zero as "use the default", so an explicit zero in
+	// the file would be silently replaced — reject it instead.
+	for _, z := range []struct {
+		name   string
+		posIdx int
+		val    float64
+	}{
+		{"rate", 0, cfg.LinkRate},
+		{"classes", -1, float64(cfg.PredictedClasses)},
+		{"buffer", -1, float64(cfg.BufferPackets)},
+		{"quota", -1, cfg.DatagramQuota},
+		{"maxpkt", -1, float64(cfg.MaxPacketBits)},
+	} {
+		if pos, ok := a.given(z.name, z.posIdx); ok && z.val == 0 {
+			c.failf(pos, "Net %s must be positive (omit the argument for the default)", z.name)
+		}
+	}
+	if cfg.PredictedClasses != 0 && len(cfg.ClassTargets) != 0 &&
+		len(cfg.ClassTargets) != cfg.PredictedClasses {
+		c.failf(d.KindPos, "Net targets lists %d delays but classes is %d", len(cfg.ClassTargets), cfg.PredictedClasses)
+	}
+	if cfg.PredictedClasses == 0 && len(cfg.ClassTargets) != 0 {
+		cfg.PredictedClasses = len(cfg.ClassTargets)
+	}
+	return cfg
+}
+
+// defaultLinkRate is the rate links take when neither the link nor Net names
+// one.
+func (c *compiler) defaultLinkRate() float64 {
+	if r := c.net.Config().LinkRate; r > 0 {
+		return r
+	}
+	return DefaultLinkRate
+}
+
+func (c *compiler) addSwitch(name string, pos Pos) {
+	if c.switches[name] {
+		c.failf(pos, "switch %q already exists", name)
+		return
+	}
+	c.switches[name] = true
+	c.net.AddSwitch(name)
+}
+
+func (c *compiler) addLink(from, to string, rate, delay float64, pos Pos) {
+	key := [2]string{from, to}
+	if c.links[key] {
+		c.failf(pos, "duplicate link %s -> %s", from, to)
+		return
+	}
+	c.links[key] = true
+	c.net.ConnectWith(from, to, rate, delay)
+}
+
+// isLinkChain reports whether every endpoint of the chain is a switch
+// (unknown names are resolved — with an error — in linkChain/attachChain).
+func (c *compiler) isLinkChain(ch *Chain) bool {
+	return c.switches[ch.Ends[0].Text]
+}
+
+func (c *compiler) linkChain(ch *Chain) {
+	rate := c.defaultLinkRate()
+	delay := c.net.Config().PropDelay
+	if len(ch.Attrs) > 0 {
+		a := c.argsOf(&Decl{Kind: "Link", KindPos: ch.Ends[0].Pos, Args: ch.Attrs})
+		rate = a.bitrate("rate", 0, rate)
+		delay = a.duration("delay", 1, delay)
+		a.finish("rate", "delay")
+	}
+	for i := 0; i < len(ch.Ends)-1; i++ {
+		from, to := ch.Ends[i], ch.Ends[i+1]
+		for _, n := range []Name{from, to} {
+			if !c.switches[n.Text] {
+				c.what(n, "a switch", "in a link")
+				return
+			}
+		}
+		if !c.ok() {
+			return
+		}
+		c.addLink(from.Text, to.Text, rate, delay, from.Pos)
+		if ch.Duplex[i] {
+			c.addLink(to.Text, from.Text, rate, delay, from.Pos)
+		}
+	}
+}
+
+// what reports a name that is not what the context needs, saying what it
+// actually is.
+func (c *compiler) what(n Name, wanted, context string) {
+	if d, ok := c.decls[n.Text]; ok {
+		c.failf(n.Pos, "%q is a %s, not %s %s", n.Text, d.Kind, wanted, context)
+	} else {
+		c.failf(n.Pos, "unknown name %q %s", n.Text, context)
+	}
+}
+
+// pathNodes validates that a path argument names existing switches joined by
+// existing links, returning the node names.
+func (c *compiler) pathNodes(path []Name) []string {
+	nodes := make([]string, len(path))
+	for i, n := range path {
+		if !c.switches[n.Text] {
+			c.what(n, "a switch", "in a path")
+			return nil
+		}
+		nodes[i] = n.Text
+	}
+	for i := 0; i < len(nodes)-1; i++ {
+		if !c.links[[2]string{nodes[i], nodes[i+1]}] {
+			c.failf(path[i].Pos, "path needs a link %s -> %s, but none is declared", nodes[i], nodes[i+1])
+			return nil
+		}
+	}
+	return nodes
+}
+
+func (c *compiler) allocID() uint32 {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+func (c *compiler) flowDecl(d *Decl) {
+	a := c.argsOf(d)
+	path := a.path("path", true)
+	var nodes []string
+	if c.ok() {
+		nodes = c.pathNodes(path)
+	}
+	for _, n := range d.Names {
+		if !c.ok() {
+			return
+		}
+		var f *core.Flow
+		var err error
+		id := c.allocID()
+		switch d.Kind {
+		case "Guaranteed":
+			spec := core.GuaranteedSpec{
+				ClockRate:  a.bitrate("rate", -1, 0),
+				BucketBits: a.bits("bucket", -1, DefaultBucketPkt*DefaultPktBits),
+			}
+			a.finish("path", "rate", "bucket")
+			if !c.ok() {
+				return
+			}
+			f, err = c.net.RequestGuaranteed(id, nodes, spec)
+		case "Predicted":
+			spec := core.PredictedSpec{
+				TokenRate:  a.bitrate("rate", -1, 0),
+				BucketBits: a.bits("bucket", -1, DefaultBucketPkt*DefaultPktBits),
+				Delay:      a.duration("delay", -1, 0.5),
+				Loss:       a.fraction("loss", -1, 0.01),
+			}
+			class := a.count("class", -1, -1)
+			a.finish("path", "rate", "bucket", "delay", "loss", "class")
+			if !c.ok() {
+				return
+			}
+			if class >= 0 {
+				f, err = c.net.RequestPredictedClass(id, nodes, uint8(class), spec)
+			} else {
+				f, err = c.net.RequestPredicted(id, nodes, spec)
+			}
+		case "Datagram":
+			a.finish("path")
+			if !c.ok() {
+				return
+			}
+			f, err = c.net.AddDatagramFlow(id, nodes)
+		}
+		if err != nil {
+			c.failf(d.KindPos, "%s %q rejected: %v", d.Kind, n.Text, err)
+			return
+		}
+		sf := &SimFlow{Name: n.Text, Kind: d.Kind, Flow: f}
+		c.flows[n.Text] = sf
+		c.out.Flows = append(c.out.Flows, sf)
+	}
+}
+
+func (c *compiler) tcpDecl(d *Decl) {
+	a := c.argsOf(d)
+	fwd := a.path("path", true)
+	var nodes []string
+	if c.ok() {
+		nodes = c.pathNodes(fwd)
+	}
+	var back []string
+	if rev := a.path("back", false); rev != nil {
+		back = c.pathNodes(rev)
+		// ACKs must return from the receiver to the sender, whatever
+		// route they take.
+		if back != nil && nodes != nil &&
+			(back[0] != nodes[len(nodes)-1] || back[len(back)-1] != nodes[0]) {
+			c.failf(rev[0].Pos, "back path must run from %s to %s (got %s to %s)",
+				nodes[len(nodes)-1], nodes[0], back[0], back[len(back)-1])
+			return
+		}
+	} else if nodes != nil {
+		back = make([]string, len(nodes))
+		for i, s := range nodes {
+			back[len(nodes)-1-i] = s
+		}
+		for i := 0; i < len(back)-1; i++ {
+			if !c.links[[2]string{back[i], back[i+1]}] {
+				c.failf(d.KindPos, "TCP ACKs need a reverse link %s -> %s; declare it (or the whole path with <->), or give an explicit back path",
+					back[i], back[i+1])
+				return
+			}
+		}
+	}
+	cfg := tcp.Config{
+		SegmentBits: int(a.bits("segment", -1, 0)),
+		AckBits:     int(a.bits("ack", -1, 0)),
+		MaxCwnd:     float64(a.count("maxcwnd", -1, 0)),
+		MinRTO:      a.duration("minrto", -1, 0),
+	}
+	startAt := a.duration("start", -1, 0)
+	a.finish("path", "back", "segment", "ack", "maxcwnd", "minrto", "start")
+	for _, n := range d.Names {
+		if !c.ok() {
+			return
+		}
+		cc := cfg
+		cc.DataFlowID = c.allocID()
+		cc.AckFlowID = c.allocID()
+		cc.Path = nodes
+		cc.ReversePath = back
+		conn := tcp.NewConnection(c.net.Topology(), cc)
+		st := &SimTCP{Name: n.Text, Conn: conn, StartAt: startAt}
+		c.out.TCPs = append(c.out.TCPs, st)
+		eng := c.net.Engine()
+		if startAt > 0 {
+			c.out.starts = append(c.out.starts, func() { eng.At(st.StartAt, conn.Start) })
+		} else {
+			c.out.starts = append(c.out.starts, conn.Start)
+		}
+	}
+}
+
+// attachChain wires source -> [TokenBucket ->]* flow.
+func (c *compiler) attachChain(ch *Chain) {
+	for i, dup := range ch.Duplex {
+		if dup {
+			c.failf(ch.Ends[i].Pos, `attachments are directional; use "->"`)
+			return
+		}
+	}
+	if len(ch.Attrs) > 0 {
+		c.failf(ch.Ends[0].Pos, "Link(...) attributes only apply to links between switches")
+		return
+	}
+	head := ch.Ends[0]
+	srcDecl, ok := c.decls[head.Text]
+	if !ok || kindClass[srcDecl.Kind] != classSource {
+		c.what(head, "a traffic source or switch", "at the head of a chain")
+		return
+	}
+	last := ch.Ends[len(ch.Ends)-1]
+	flow, ok := c.flows[last.Text]
+	if !ok {
+		c.what(last, "a Guaranteed/Predicted/Datagram flow", "at the end of an attachment")
+		return
+	}
+	// Middle elements must be TokenBucket filters, each used once.
+	src := c.buildSource(srcDecl, head, flow)
+	if !c.ok() {
+		return
+	}
+	for _, mid := range ch.Ends[1 : len(ch.Ends)-1] {
+		fd, ok := c.decls[mid.Text]
+		if !ok || kindClass[fd.Kind] != classFilter {
+			c.what(mid, "a TokenBucket", "in the middle of an attachment")
+			return
+		}
+		if c.attached[mid.Text] > 0 {
+			c.failf(mid.Pos, "TokenBucket %q is already in use; buckets hold state and serve one chain", mid.Text)
+			return
+		}
+		c.attached[mid.Text]++
+		a := c.argsOf(fd)
+		rate := a.pktRate("rate", 0, 0)
+		depth := float64(a.count("depth", 1, DefaultBucketPkt))
+		a.finish("rate", "depth")
+		if rate <= 0 {
+			c.failf(fd.KindPos, "TokenBucket requires a positive rate (packets/s)")
+			return
+		}
+		pol := source.NewPoliced(src, rate, depth)
+		flow.filters = append(flow.filters, pol)
+		src = pol
+	}
+	c.attached[head.Text]++
+	if c.attached[head.Text] > 1 {
+		c.failf(head.Pos, "source %q is already attached; a source feeds one flow", head.Text)
+		return
+	}
+	c.startSource(src, srcDecl, head, flow)
+}
+
+// buildSource constructs the generator for one attachment. Class and
+// priority are stamped by Flow.Inject, so the source only needs rates and
+// sizes.
+func (c *compiler) buildSource(d *Decl, n Name, flow *SimFlow) source.Source {
+	a := c.argsOf(d)
+	rng := sim.DeriveRNG(c.seed, "src:"+n.Text)
+	size := int(a.bits("size", -1, DefaultPktBits))
+	var src source.Source
+	switch d.Kind {
+	case "Markov":
+		peak := a.pktRate("peak", -1, 0)
+		avg := a.pktRate("avg", -1, 0)
+		burst := float64(a.count("burst", -1, 5))
+		a.finish("peak", "avg", "burst", "size", "start")
+		if !c.ok() {
+			return nil
+		}
+		if avg <= 0 || peak <= avg {
+			c.failf(d.KindPos, "Markov needs 0 < avg < peak (got avg %v, peak %v)", avg, peak)
+			return nil
+		}
+		src = source.NewMarkov(source.MarkovConfig{
+			SizeBits: size, PeakRate: peak, AvgRate: avg, Burst: burst, RNG: rng,
+		})
+	case "CBR":
+		rate := a.pktRate("rate", 0, 0)
+		a.finish("rate", "size", "start")
+		if !c.ok() {
+			return nil
+		}
+		if rate <= 0 {
+			c.failf(d.KindPos, "CBR requires a positive rate (packets/s)")
+			return nil
+		}
+		src = source.NewCBR(source.CBRConfig{SizeBits: size, Rate: rate, RNG: rng})
+	case "Poisson":
+		rate := a.pktRate("rate", 0, 0)
+		a.finish("rate", "size", "start")
+		if !c.ok() {
+			return nil
+		}
+		if rate <= 0 {
+			c.failf(d.KindPos, "Poisson requires a positive rate (packets/s)")
+			return nil
+		}
+		src = source.NewPoisson(source.PoissonConfig{SizeBits: size, Rate: rate, RNG: rng})
+	}
+	return src
+}
+
+// startSource defers the actual Start into Sim.Run.
+func (c *compiler) startSource(src source.Source, d *Decl, n Name, flow *SimFlow) {
+	a := c.argsOf(d)
+	startAt := a.duration("start", -1, 0)
+	source.AttachPool(src, c.net.Pool())
+	eng := c.net.Engine()
+	inject := flow.Flow.Inject
+	begin := func() { src.Start(eng, func(p *packet.Packet) { inject(p) }) }
+	if startAt > 0 {
+		c.out.starts = append(c.out.starts, func() { eng.At(startAt, begin) })
+	} else {
+		c.out.starts = append(c.out.starts, begin)
+	}
+}
+
+// FlowByName returns the compiled flow with the given scenario name, or nil.
+func (s *Sim) FlowByName(name string) *SimFlow {
+	for _, f := range s.Flows {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package scenario implements the .ispn declarative scenario format: a
+// small Click-inspired text language that describes a topology, service
+// requests, and traffic, and compiles onto the internal/core network so
+// arbitrary workloads run without writing Go.
+//
+// A scenario is a flat list of element declarations and chains:
+//
+//	# WAN dumbbell: one videoconference vs TCP cross-traffic.
+//	net :: Net(rate 1Mbps, targets [32ms, 320ms])
+//	run :: Run(seed 1992, horizon 120s, percentiles [50%, 99%, 99.9%])
+//
+//	db   :: Dumbbell(left 2, right 2, access 10Mbps, bottleneck 1Mbps, delay 5ms)
+//	conf :: Predicted(rate 85kbps, bucket 50kbit, delay 500ms, loss 1%,
+//	                  path db.l1 -> db.a -> db.b -> db.r1)
+//	cam  :: Markov(peak 170pps, avg 85pps, burst 5, size 1000bit)
+//	cam -> conf
+//	web  :: TCP(path db.l2 -> db.a -> db.b -> db.r2)
+//
+// Chains ("A -> B", "A <-> B") are links when their endpoints are switches
+// and attachments when they lead from a traffic source (optionally through
+// TokenBucket filters) to a flow. Topology generators (Star, Dumbbell,
+// ParkingLot, Random) expand into switches scoped under the element name.
+// The full grammar, every element kind, and its arguments and defaults are
+// documented in docs/SCENARIO.md.
+//
+// Parse/ParseFile produce the AST with position-aware errors
+// ("file:line:col: message"); Compile validates it and lowers it onto a
+// fresh core.Network; Sim.Run simulates to the horizon and returns a
+// Report. Compilation is deterministic: flow ids follow declaration order
+// and every random stream — including the Random generator's extra edges —
+// derives from (seed, element name), so a fixed (file, seed) pair yields
+// bit-identical results no matter where or how concurrently it runs (the
+// property experiments.RunScenarios exploits to fan runs across workers).
+package scenario

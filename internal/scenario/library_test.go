@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// libraryDir is the shipped scenario library, relative to this package.
+const libraryDir = "../../scenarios"
+
+// TestLibraryParsesAndSimulates is the round-trip check `make ci` relies
+// on: every shipped .ispn file must parse, document itself, compile, and
+// survive a (shortened) simulation that delivers traffic.
+func TestLibraryParsesAndSimulates(t *testing.T) {
+	entries, err := os.ReadDir(libraryDir)
+	if err != nil {
+		t.Fatalf("scenario library missing: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ispn") {
+			files = append(files, filepath.Join(libraryDir, e.Name()))
+		}
+	}
+	if len(files) < 6 {
+		t.Fatalf("library has %d scenarios, want >= 6", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			f, err := ParseFile(path)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if f.Description == "" {
+				t.Error("library scenario has no description comment block")
+			}
+			s, err := Compile(f, Options{Horizon: 3})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			rep := s.Run()
+			delivered := int64(0)
+			for _, fr := range rep.Flows {
+				delivered += fr.Delivered
+			}
+			for _, tr := range rep.TCPs {
+				delivered += tr.Delivered
+			}
+			if delivered == 0 {
+				t.Errorf("scenario delivered no traffic in 3 simulated seconds:\n%s", rep.Format())
+			}
+			if !strings.Contains(rep.Format(), "scenario "+f.Name) {
+				t.Errorf("report header lacks scenario name:\n%s", rep.Format())
+			}
+		})
+	}
+}
+
+// TestLoad exercises the ParseFile+Compile convenience entry point.
+func TestLoad(t *testing.T) {
+	s, err := Load(filepath.Join(libraryDir, "dumbbell.ispn"), Options{Horizon: 2})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s.FlowByName("conf") == nil {
+		t.Error("dumbbell scenario lost its conf flow")
+	}
+	if s.FlowByName("nope") != nil {
+		t.Error("FlowByName invented a flow")
+	}
+}

@@ -1,0 +1,288 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// units maps every unit suffix the format accepts to its multiplier and
+// dimension. Dimensions are checked when an argument is consumed, so
+// "horizon 85kbps" is rejected with the argument's position.
+var units = map[string]struct {
+	mult float64
+	dim  dimension
+}{
+	"bps":  {1, dimBitrate},
+	"kbps": {1e3, dimBitrate},
+	"Mbps": {1e6, dimBitrate},
+	"Gbps": {1e9, dimBitrate},
+	"bit":  {1, dimBits},
+	"kbit": {1e3, dimBits},
+	"Mbit": {1e6, dimBits},
+	"ns":   {1e-9, dimTime},
+	"us":   {1e-6, dimTime},
+	"ms":   {1e-3, dimTime},
+	"s":    {1, dimTime},
+	"min":  {60, dimTime},
+	"pps":  {1, dimPktRate},
+	"%":    {0.01, dimFraction},
+}
+
+type dimension int
+
+const (
+	dimNone dimension = iota
+	dimBitrate
+	dimBits
+	dimTime
+	dimPktRate
+	dimFraction
+)
+
+func (d dimension) String() string {
+	switch d {
+	case dimBitrate:
+		return "a bit rate (bps/kbps/Mbps/Gbps)"
+	case dimBits:
+		return "a bit count (bit/kbit/Mbit)"
+	case dimTime:
+		return "a duration (ns/us/ms/s/min)"
+	case dimPktRate:
+		return "a packet rate (pps)"
+	case dimFraction:
+		return "a fraction (a bare number or %)"
+	}
+	return "a bare number"
+}
+
+// Parse parses scenario source. name labels diagnostics (conventionally the
+// file path); it is not required to exist on disk.
+func Parse(name string, src []byte) (*File, error) {
+	p := &parser{lx: newLexer(name, string(src))}
+	p.tok = p.lx.next()
+	f := &File{
+		Path: name,
+		Name: strings.TrimSuffix(filepath.Base(name), ".ispn"),
+	}
+	for p.tok.kind != tokEOF && p.err == nil {
+		p.statement(f)
+	}
+	// A lexical error explains the parse error that follows it, so it wins.
+	if p.lx.err != nil {
+		p.err = p.lx.err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	f.Description = p.lx.description()
+	return f, nil
+}
+
+// ParseFile reads and parses one .ispn file.
+func ParseFile(path string) (*File, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, src)
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+	err *Error
+}
+
+func (p *parser) advance() token {
+	t := p.tok
+	p.tok = p.lx.next()
+	return t
+}
+
+func (p *parser) fail(pos Pos, format string, args ...any) {
+	if p.err == nil {
+		p.err = errf(p.lx.file, pos, format, args...)
+	}
+	p.tok = token{kind: tokEOF, pos: pos}
+}
+
+func (p *parser) expect(k tokKind, context string) token {
+	if p.tok.kind != k {
+		p.fail(p.tok.pos, "expected %s %s, found %s", k, context, p.tok.describe())
+		return token{kind: k, pos: p.tok.pos}
+	}
+	return p.advance()
+}
+
+// statement parses one declaration or chain (empty ";" statements are
+// skipped).
+func (p *parser) statement(f *File) {
+	if p.tok.kind == tokSemi {
+		p.advance()
+		return
+	}
+	if p.tok.kind != tokIdent {
+		p.fail(p.tok.pos, "expected a declaration or link, found %s", p.tok.describe())
+		return
+	}
+	first := p.name()
+	switch p.tok.kind {
+	case tokArrow, tokDuplex:
+		p.chain(f, first)
+	case tokDoubleColon, tokComma:
+		p.decl(f, first)
+	default:
+		p.fail(p.tok.pos, `expected "::", "->", "<->" or "," after %q, found %s`, first.Text, p.tok.describe())
+	}
+	for p.tok.kind == tokSemi {
+		p.advance()
+	}
+}
+
+func (p *parser) name() Name {
+	t := p.expect(tokIdent, "")
+	return Name{Text: t.text, Pos: t.pos}
+}
+
+// decl parses "a[, b...] :: Kind[(args)]" with first already consumed.
+func (p *parser) decl(f *File, first Name) {
+	d := &Decl{Names: []Name{first}}
+	for p.tok.kind == tokComma {
+		p.advance()
+		d.Names = append(d.Names, p.name())
+	}
+	p.expect(tokDoubleColon, `in declaration (name :: Kind)`)
+	kind := p.expect(tokIdent, "as element kind")
+	d.Kind, d.KindPos = kind.text, kind.pos
+	if p.tok.kind == tokLParen {
+		p.advance()
+		d.Args = p.args()
+	}
+	for _, n := range d.Names {
+		if strings.Contains(n.Text, ".") {
+			p.fail(n.Pos, "declared name %q may not contain '.' (dotted names belong to topology generators)", n.Text)
+			return
+		}
+	}
+	f.Decls = append(f.Decls, d)
+}
+
+// chain parses "A -> B [<-> C ...][:: Link(args)]" with A consumed.
+func (p *parser) chain(f *File, first Name) {
+	c := &Chain{Ends: []Name{first}}
+	for p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+		c.Duplex = append(c.Duplex, p.tok.kind == tokDuplex)
+		p.advance()
+		c.Ends = append(c.Ends, p.name())
+	}
+	if p.tok.kind == tokDoubleColon {
+		p.advance()
+		kind := p.expect(tokIdent, "after '::' on a link")
+		if kind.text != "Link" {
+			p.fail(kind.pos, "a chain can only be annotated with Link(...), found %q", kind.text)
+			return
+		}
+		p.expect(tokLParen, "after Link")
+		c.Attrs = p.args()
+	}
+	f.Chains = append(f.Chains, c)
+}
+
+// args parses a ')'-terminated argument list, the '(' already consumed.
+func (p *parser) args() []Arg {
+	var out []Arg
+	for p.err == nil {
+		if p.tok.kind == tokRParen {
+			p.advance()
+			return out
+		}
+		out = append(out, p.arg())
+		switch p.tok.kind {
+		case tokComma:
+			p.advance()
+		case tokRParen:
+		default:
+			p.fail(p.tok.pos, `expected "," or ")" in argument list, found %s`, p.tok.describe())
+		}
+	}
+	return out
+}
+
+// arg parses "key value" or a positional value. An identifier is a key when
+// a value follows it; otherwise it is itself an (ident or path) value.
+func (p *parser) arg() Arg {
+	if p.tok.kind == tokIdent {
+		key := p.tok
+		switch p.peekKind() {
+		case tokNumber, tokString, tokLBrack, tokIdent:
+			p.advance()
+			return Arg{Name: key.text, NamePos: key.pos, Value: p.value()}
+		}
+	}
+	return Arg{Value: p.value()}
+}
+
+// peekKind returns the kind of the token after the current one.
+func (p *parser) peekKind() tokKind {
+	save := *p.lx
+	t := p.lx.next()
+	*p.lx = save
+	return t.kind
+}
+
+func (p *parser) value() Value {
+	switch p.tok.kind {
+	case tokNumber:
+		t := p.advance()
+		v := Value{Pos: t.pos, Kind: NumberVal, Num: t.num}
+		if p.tok.kind == tokPercent {
+			p.advance()
+			v.Unit = "%"
+		} else if p.tok.kind == tokIdent {
+			if _, ok := units[p.tok.text]; ok {
+				v.Unit = p.advance().text
+			}
+		}
+		return v
+	case tokString:
+		t := p.advance()
+		return Value{Pos: t.pos, Kind: StringVal, Str: t.text}
+	case tokIdent:
+		t := p.advance()
+		if p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+			path := []Name{{Text: t.text, Pos: t.pos}}
+			for p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+				if p.tok.kind == tokDuplex {
+					p.fail(p.tok.pos, `paths are directional; use "->"`)
+					return Value{Pos: t.pos, Kind: PathVal, Path: path}
+				}
+				p.advance()
+				n := p.name()
+				path = append(path, n)
+			}
+			return Value{Pos: t.pos, Kind: PathVal, Path: path}
+		}
+		return Value{Pos: t.pos, Kind: IdentVal, Str: t.text}
+	case tokLBrack:
+		t := p.advance()
+		v := Value{Pos: t.pos, Kind: ListVal}
+		for p.err == nil {
+			if p.tok.kind == tokRBrack {
+				p.advance()
+				return v
+			}
+			v.List = append(v.List, p.value())
+			switch p.tok.kind {
+			case tokComma:
+				p.advance()
+			case tokRBrack:
+			default:
+				p.fail(p.tok.pos, `expected "," or "]" in list, found %s`, p.tok.describe())
+			}
+		}
+		return v
+	}
+	p.fail(p.tok.pos, "expected a value, found %s", p.tok.describe())
+	return Value{Pos: p.tok.pos}
+}

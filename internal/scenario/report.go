@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Report is the result of one scenario run: a per-flow delay summary, TCP
+// connection statistics, and per-link utilization. All delay figures are in
+// milliseconds of queueing delay (total minus the fixed store-and-forward
+// and propagation components, the paper's convention).
+type Report struct {
+	Scenario    string
+	Seed        int64
+	Horizon     float64 // simulated seconds
+	Percentiles []float64
+
+	Flows []FlowReport
+	TCPs  []TCPReport
+	Links []LinkReport
+}
+
+// FlowReport summarizes one flow.
+type FlowReport struct {
+	Name    string
+	Service string // "guaranteed", "predicted/«class»", "datagram"
+	Hops    int
+	// Delivered counts packets that reached the sink; EdgeDropped counts
+	// packets refused entry by token-bucket policing.
+	Delivered   int64
+	EdgeDropped int64
+	// BoundMS is the a priori delay bound advertised to the flow
+	// (negative for datagram flows, which get no commitment).
+	BoundMS float64
+	MeanMS  float64
+	PctMS   []float64 // one entry per Report.Percentiles
+	MaxMS   float64
+}
+
+// TCPReport summarizes one TCP connection.
+type TCPReport struct {
+	Name        string
+	Delivered   int64 // in-order segments
+	Retransmits int64
+	Timeouts    int64
+	GoodputKbps float64
+}
+
+// LinkReport summarizes one link that carried traffic.
+type LinkReport struct {
+	Name        string
+	Utilization float64 // lifetime fraction of capacity
+	Drops       int64   // buffer drops
+}
+
+func (s *Sim) buildReport() *Report {
+	r := &Report{
+		Scenario:    s.File.Name,
+		Seed:        s.Seed,
+		Horizon:     s.Horizon,
+		Percentiles: s.Percentiles,
+	}
+	for _, f := range s.Flows {
+		m := f.Flow.Meter()
+		fr := FlowReport{
+			Name:        f.Name,
+			Service:     serviceName(f),
+			Hops:        f.Flow.Hops(),
+			Delivered:   f.Flow.Delivered(),
+			EdgeDropped: f.EdgeDropped(),
+			BoundMS:     f.Flow.Bound() * 1e3,
+			MeanMS:      m.Mean() * 1e3,
+			MaxMS:       m.Max() * 1e3,
+		}
+		for _, p := range s.Percentiles {
+			fr.PctMS = append(fr.PctMS, m.Percentile(p)*1e3)
+		}
+		r.Flows = append(r.Flows, fr)
+	}
+	for _, t := range s.TCPs {
+		st := t.Conn.Stats()
+		active := s.Horizon - t.StartAt
+		r.TCPs = append(r.TCPs, TCPReport{
+			Name:        t.Name,
+			Delivered:   st.Delivered,
+			Retransmits: st.Retransmits,
+			Timeouts:    st.Timeouts,
+			GoodputKbps: t.Conn.ThroughputBits(active) / 1e3,
+		})
+	}
+	for _, nd := range s.Net.Topology().Nodes() {
+		for _, pt := range nd.Ports() {
+			ctr := pt.Counter()
+			if ctr.Total == 0 {
+				continue
+			}
+			r.Links = append(r.Links, LinkReport{
+				Name:        pt.Name(),
+				Utilization: pt.TotalUtilization(s.Horizon),
+				Drops:       ctr.Dropped,
+			})
+		}
+	}
+	return r
+}
+
+func serviceName(f *SimFlow) string {
+	switch f.Kind {
+	case "Guaranteed":
+		return "guaranteed"
+	case "Predicted":
+		return fmt.Sprintf("predicted/%d", f.Flow.Priority)
+	default:
+		return "datagram"
+	}
+}
+
+// pctLabel renders 0.999 as "p99.9".
+func pctLabel(p float64) string {
+	return "p" + strconv.FormatFloat(p*100, 'f', -1, 64)
+}
+
+// Format renders the report as the stats table ispnsim prints.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %.0fs simulated, seed %d\n", r.Scenario, r.Horizon, r.Seed)
+
+	if len(r.Flows) > 0 {
+		b.WriteString("\nflow            service        hops   delivered  dropped")
+		for _, p := range r.Percentiles {
+			fmt.Fprintf(&b, "  %9s", pctLabel(p))
+		}
+		b.WriteString("       mean        max      bound\n")
+		for _, f := range r.Flows {
+			fmt.Fprintf(&b, "%-15s %-14s %4d  %10d %8d", f.Name, f.Service, f.Hops, f.Delivered, f.EdgeDropped)
+			for _, v := range f.PctMS {
+				fmt.Fprintf(&b, "  %9.2f", v)
+			}
+			bound := "       none"
+			if f.BoundMS >= 0 {
+				bound = fmt.Sprintf("%8.1fms", f.BoundMS)
+			}
+			fmt.Fprintf(&b, "  %9.2f  %9.2f %s\n", f.MeanMS, f.MaxMS, bound)
+		}
+		b.WriteString("(delays in ms of queueing)\n")
+	}
+
+	if len(r.TCPs) > 0 {
+		b.WriteString("\ntcp             delivered  retransmits  timeouts  goodput\n")
+		for _, t := range r.TCPs {
+			fmt.Fprintf(&b, "%-15s %9d  %11d  %8d  %6.1f kbit/s\n",
+				t.Name, t.Delivered, t.Retransmits, t.Timeouts, t.GoodputKbps)
+		}
+	}
+
+	if len(r.Links) > 0 {
+		b.WriteString("\nlink                      util   drops\n")
+		for _, l := range r.Links {
+			fmt.Fprintf(&b, "%-24s %4.0f%% %7d\n", l.Name, l.Utilization*100, l.Drops)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import "fmt"
+
+// Pos is a 1-indexed position in a scenario file.
+type Pos struct {
+	Line, Col int
+}
+
+// Error is a scenario-file diagnostic carrying the file name and position it
+// refers to; its text renders as "file:line:col: message" so editors and CI
+// logs can jump to the offending token.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+func errf(file string, pos Pos, format string, args ...any) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokDoubleColon // ::
+	tokArrow       // ->
+	tokDuplex      // <->
+	tokLParen      // (
+	tokRParen      // )
+	tokLBrack      // [
+	tokRBrack      // ]
+	tokComma       // ,
+	tokSemi        // ;
+	tokPercent     // %
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokDoubleColon:
+		return `"::"`
+	case tokArrow:
+		return `"->"`
+	case tokDuplex:
+		return `"<->"`
+	case tokLParen:
+		return `"("`
+	case tokRParen:
+		return `")"`
+	case tokLBrack:
+		return `"["`
+	case tokRBrack:
+		return `"]"`
+	case tokComma:
+		return `","`
+	case tokSemi:
+		return `";"`
+	case tokPercent:
+		return `"%"`
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string  // identifier or string body
+	num  float64 // number value
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %v", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return t.kind.String()
+	}
+}

@@ -1,7 +1,9 @@
 // Package topology models the simulated packet network: switches connected
 // by directed links, each outgoing link fronted by an output port that owns a
-// scheduler and a finite packet buffer (the paper's switches buffer 200
-// packets). Hosts attach over infinitely fast links, so traffic sources
+// scheduler, a finite packet buffer (the paper's switches buffer 200
+// packets), and its own bandwidth and propagation delay — links need not be
+// homogeneous (scenario dumbbells hang fast access links off a slow
+// bottleneck). Hosts attach over infinitely fast links, so traffic sources
 // inject directly at their first switch and flows terminate at per-flow
 // sinks on their last switch.
 package topology

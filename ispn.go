@@ -42,6 +42,7 @@ import (
 	"ispn/internal/core"
 	"ispn/internal/packet"
 	"ispn/internal/playback"
+	"ispn/internal/scenario"
 	"ispn/internal/sim"
 	"ispn/internal/source"
 	"ispn/internal/stats"
@@ -176,3 +177,31 @@ func NewAdaptiveClient(cfg AdaptiveConfig) *playback.Adaptive { return playback.
 
 // DeriveRNG returns a deterministic named random stream.
 func DeriveRNG(seed int64, name string) *RNG { return sim.DeriveRNG(seed, name) }
+
+// Declarative scenarios (.ispn files; see docs/SCENARIO.md for the format).
+type (
+	// ScenarioFile is a parsed .ispn file.
+	ScenarioFile = scenario.File
+	// ScenarioSim is a compiled, runnable scenario.
+	ScenarioSim = scenario.Sim
+	// ScenarioReport is the result of one scenario run.
+	ScenarioReport = scenario.Report
+	// ScenarioOptions overrides a scenario's seed or horizon.
+	ScenarioOptions = scenario.Options
+)
+
+// ParseScenario parses .ispn source; name labels file:line:col diagnostics.
+func ParseScenario(name string, src []byte) (*ScenarioFile, error) {
+	return scenario.Parse(name, src)
+}
+
+// CompileScenario validates a parsed scenario and lowers it onto a fresh
+// Network; call Run on the result.
+func CompileScenario(f *ScenarioFile, opts ScenarioOptions) (*ScenarioSim, error) {
+	return scenario.Compile(f, opts)
+}
+
+// LoadScenario reads, parses and compiles one .ispn file.
+func LoadScenario(path string, opts ScenarioOptions) (*ScenarioSim, error) {
+	return scenario.Load(path, opts)
+}
