@@ -1,6 +1,7 @@
 GO ?= go
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: ci vet build examples test scenario-check bench-smoke bench
+.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check
 
 ci: vet build examples test scenario-check bench-smoke
 
@@ -31,3 +32,24 @@ bench-smoke:
 # Full benchmark suite over every table/figure/ablation.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Tier-1 benchmark trajectory for CI: run the two headline benchmarks at a
+# fixed iteration count, emit BENCH_<sha>.json (ns/op, B/op, allocs/op), and
+# fail if the zero-alloc facade path regresses above 0 allocs/op. 20
+# iterations keep the wall clock low while amortizing the recorder's
+# occasional sample-storage growth out of the integer allocs/op report.
+# The bench run lands in a temp file first (not a pipe) so a failing
+# benchmark fails the target instead of vanishing behind benchjson's status.
+bench-json:
+	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork' \
+		-benchtime 20x -benchmem . > BENCH.out \
+		|| { cat BENCH.out; rm -f BENCH.out; exit 1; }
+	@$(GO) run ./cmd/benchjson -sha $(SHA) -out BENCH_$(SHA).json \
+		-gate-zero-allocs FacadeSmallNetwork < BENCH.out \
+		|| { rm -f BENCH.out; exit 1; }
+	@rm -f BENCH.out
+
+# Fail on unformatted files (CI gate; prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,128 @@
+// Command benchjson turns `go test -bench -benchmem` output into a small
+// JSON document for CI artifact upload, and optionally gates on allocation
+// regressions. The repo's zero-alloc facade path (BenchmarkFacadeSmallNetwork)
+// must stay at 0 allocs/op; CI fails the build the moment it regresses.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson \
+//	    -sha abc1234 -out BENCH_abc1234.json -gate-zero-allocs FacadeSmallNetwork
+//
+// The bench output is also echoed to stdout so CI logs keep the raw numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted artifact.
+type Document struct {
+	SHA        string   `json:"sha"`
+	GoVersion  string   `json:"go_version"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseMetrics reads "value unit" pairs ("42 ns/op  16 B/op  3 allocs/op").
+func parseMetrics(s string, r *Result) error {
+	fields := strings.Fields(s)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("bad metric value %q", fields[i])
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	sha := flag.String("sha", "dev", "commit SHA recorded in the document")
+	gate := flag.String("gate-zero-allocs", "",
+		"substring of benchmark names that must report 0 allocs/op (empty = no gate)")
+	flag.Parse()
+
+	doc := Document{SHA: *sha, GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo: CI logs keep the raw bench output
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		if err := parseMetrics(m[3], &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", m[1], err)
+			os.Exit(1)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+
+	if *gate != "" {
+		gated := 0
+		for _, r := range doc.Benchmarks {
+			if !strings.Contains(r.Name, *gate) {
+				continue
+			}
+			gated++
+			if r.AllocsPerOp > 0 {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: ALLOC REGRESSION: %s reports %.0f allocs/op, the zero-alloc path must stay at 0\n",
+					r.Name, r.AllocsPerOp)
+				os.Exit(1)
+			}
+		}
+		if gated == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %q matched no benchmark\n", *gate)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: alloc gate %q OK (%d benchmark(s) at 0 allocs/op)\n", *gate, gated)
+	}
+}

@@ -43,6 +43,7 @@ experiments:
   compare             extension: the full scheduling zoo on one workload
   sweep               extension: delay vs utilization curve per discipline
   dist                extension: full delay distributions (ASCII histogram)
+  churn               extension: dynamic call churn through admission control
   all                 everything above
 
 scenarios:
@@ -209,6 +210,11 @@ func main() {
 				return experiments.FormatSweep(experiments.SweepLoad(cfg, nil, nil), nil)
 			})
 		},
+		"churn": func() {
+			run("churn", func() string {
+				return experiments.FormatChurn(experiments.ChurnStress(cfg))
+			})
+		},
 		"dist": func() {
 			run("dist", func() string {
 				var b string
@@ -223,7 +229,7 @@ func main() {
 	}
 	order := []string{"figure1", "table1", "table2", "table3",
 		"ablation-isolation", "ablation-hops", "admission", "playback", "discard",
-		"compare", "sweep", "dist"}
+		"compare", "sweep", "dist", "churn"}
 
 	name := flag.Arg(0)
 	if name == "all" {

@@ -125,3 +125,48 @@ hose -> bulk
 	// conf: predicted/0 over 1 hop, 4980 delivered
 	// bound 100 ms, max 1.0 ms
 }
+
+// ExampleParseScenario_timeline scripts a dynamic scenario: a guaranteed
+// trunk arrives mid-run through admission control, a rival request is
+// refused while it holds the link, and the same request succeeds after the
+// trunk departs and releases its reservation.
+func ExampleParseScenario_timeline() {
+	src := `
+net :: Net(rate 1Mbps)
+run :: Run(seed 1, horizon 10s)
+A, B :: Switch
+A -> B
+
+at 1s { trunk :: Guaranteed(rate 500kbps, path A -> B) }
+at 2s { rival :: Guaranteed(rate 500kbps, path A -> B) }
+at 3s { remove trunk }
+at 4s { late :: Guaranteed(rate 500kbps, path A -> B) }
+`
+	file, err := ispn.ParseScenario("timeline.ispn", []byte(src))
+	if err != nil {
+		panic(err)
+	}
+	sim, err := ispn.CompileScenario(file, ispn.ScenarioOptions{})
+	if err != nil {
+		panic(err)
+	}
+	report := sim.Run()
+
+	for _, f := range report.Flows {
+		state := "admitted"
+		if f.Rejected {
+			state = "rejected"
+		} else if f.Departed {
+			state = "departed"
+		}
+		fmt.Printf("%s at %.0fs: %s\n", f.Name, f.ArriveS, state)
+	}
+	a := report.Admission
+	fmt.Printf("%d requested, %d admitted, %d rejected, %d departed\n",
+		a.Requested, a.Admitted, a.Rejected, a.Departed)
+	// Output:
+	// trunk at 1s: departed
+	// rival at 2s: rejected
+	// late at 4s: admitted
+	// 3 requested, 2 admitted, 1 rejected, 1 departed
+}

@@ -44,6 +44,11 @@ type Controller struct {
 type ledgerEntry struct {
 	rate    float64
 	expires float64
+	// owner distinguishes whose declared rate this is, so releasing one
+	// flow's capacity can never cannibalize another flow's still-warming
+	// entry of the same rate (homogeneous churn makes equal rates the
+	// common case, not the corner case). 0 means anonymous.
+	owner uint64
 }
 
 // Config parameterizes a Controller.
@@ -125,6 +130,42 @@ func (c *Controller) Utilization(now float64) float64 {
 	return nu
 }
 
+// SetLinkRate updates µ after a mid-run link reconfiguration, so admission
+// decisions track the link's real capacity rather than the rate captured at
+// controller creation.
+func (c *Controller) SetLinkRate(mu float64) {
+	if mu <= 0 {
+		panic("admission: link rate must be positive")
+	}
+	c.mu = mu
+}
+
+// Declare inserts a ledger entry for an already-authorized declared rate
+// without running the admission tests — the renegotiation-decrease path uses
+// it to re-cover a flow at its new, smaller rate.
+func (c *Controller) Declare(now, rate float64, owner uint64) {
+	c.ledger = append(c.ledger, ledgerEntry{rate: rate, expires: now + c.warmup, owner: owner})
+}
+
+// ReleaseOwner drops every still-warming ledger entry of the given owner —
+// a departure (or a failed multi-hop operation's rollback) stops counting
+// its declared rate against ν̂ immediately. A flow that outlived its warmup
+// has no entries left and releases as a no-op: its share of ν̂ is measured,
+// and decays out of the peak windows on its own once the traffic stops.
+// Anonymous entries (owner 0, the plain Admit* variants) are not releasable.
+func (c *Controller) ReleaseOwner(now float64, owner uint64) {
+	if owner == 0 {
+		return
+	}
+	kept := c.ledger[:0]
+	for _, e := range c.ledger {
+		if e.owner != owner {
+			kept = append(kept, e)
+		}
+	}
+	c.ledger = kept
+}
+
 // ErrRejected is returned (wrapped) when a request fails the criteria.
 type ErrRejected struct {
 	Criterion int // 1 or 2
@@ -138,20 +179,33 @@ func (e *ErrRejected) Error() string {
 }
 
 // AdmitGuaranteed tests a guaranteed request of clock rate r at time now and
-// on success records the declared rate in the ledger.
+// on success records the declared rate in the ledger (anonymously; callers
+// that later release capacity should use AdmitGuaranteedOwned).
 func (c *Controller) AdmitGuaranteed(now, r float64) error {
+	return c.AdmitGuaranteedOwned(now, r, 0)
+}
+
+// AdmitGuaranteedOwned is AdmitGuaranteed with the ledger entry tagged by
+// owner, so ReleaseOwner can later drop exactly this flow's claim.
+func (c *Controller) AdmitGuaranteedOwned(now, r float64, owner uint64) error {
 	nu := c.Utilization(now)
 	if r+nu >= c.quota*c.mu {
 		return &ErrRejected{Criterion: 1, Class: -1,
 			Detail: fmt.Sprintf("r=%.0f + ν̂=%.0f >= %.2f·µ=%.0f", r, nu, c.quota, c.quota*c.mu)}
 	}
-	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup})
+	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup, owner: owner})
 	return nil
 }
 
 // AdmitPredicted tests a predicted request (r, b) into class at time now and
-// on success records the declared rate.
+// on success records the declared rate (anonymously).
 func (c *Controller) AdmitPredicted(now, r, b float64, class int) error {
+	return c.AdmitPredictedOwned(now, r, b, class, 0)
+}
+
+// AdmitPredictedOwned is AdmitPredicted with the ledger entry tagged by
+// owner.
+func (c *Controller) AdmitPredictedOwned(now, r, b float64, class int, owner uint64) error {
 	if class < 0 || class >= len(c.targets) {
 		return fmt.Errorf("admission: class %d out of range", class)
 	}
@@ -172,6 +226,6 @@ func (c *Controller) AdmitPredicted(now, r, b float64, class int) error {
 					b, c.targets[j], dj, c.mu-nu-r, room)}
 		}
 	}
-	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup})
+	c.ledger = append(c.ledger, ledgerEntry{rate: r, expires: now + c.warmup, owner: owner})
 	return nil
 }

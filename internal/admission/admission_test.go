@@ -194,3 +194,54 @@ func TestConfigValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestReleaseFreesWarmingLedgerEntry(t *testing.T) {
+	c := newCtl(nil)
+	if err := c.AdmitGuaranteedOwned(0, 8e5, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The declared 800k blocks a 200k follow-up while it warms up...
+	if err := c.AdmitGuaranteed(0.1, 2e5); err == nil {
+		t.Fatal("ledger did not block the follow-up")
+	}
+	// ...but a departure before warmup expiry frees it immediately.
+	c.ReleaseOwner(0.2, 7)
+	if err := c.AdmitGuaranteed(0.3, 2e5); err != nil {
+		t.Fatalf("released capacity still blocking: %v", err)
+	}
+	// Releasing an owner with no entries left (already expired, or never
+	// admitted), or owner 0, is a harmless no-op.
+	c.ReleaseOwner(0.4, 7)
+	c.ReleaseOwner(0.4, 12345)
+	c.ReleaseOwner(0.4, 0)
+}
+
+func TestReleaseOwnerDoesNotCannibalizeOtherFlows(t *testing.T) {
+	c := newCtl(nil)
+	// Two flows declare the same rate — the homogeneous-churn case.
+	if err := c.AdmitGuaranteedOwned(0, 3e5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdmitGuaranteedOwned(2.5, 3e5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Flow 1 departs at t=4 — its own entry expired at t=3, so the
+	// release must NOT remove flow 2's still-warming equal-rate entry
+	// (expires t=5.5).
+	c.ReleaseOwner(4, 1)
+	if got := c.Utilization(4); got < 3e5 {
+		t.Fatalf("flow 2's warming entry was cannibalized: ν̂ = %v", got)
+	}
+	c.ReleaseOwner(5, 2)
+	if got := c.Utilization(5); got != 0 {
+		t.Fatalf("owned release left residue: ν̂ = %v", got)
+	}
+	// Owner-0 (anonymous) releases must never remove owned entries.
+	if err := c.AdmitGuaranteedOwned(5, 3e5, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseOwner(5.1, 0)
+	if got := c.Utilization(5.2); got < 3e5 {
+		t.Fatalf("owner-0 release removed an owned entry: ν̂ = %v", got)
+	}
+}

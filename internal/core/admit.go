@@ -41,12 +41,12 @@ func (n *Network) controller(pt *topology.Port) *admission.Controller {
 	return c
 }
 
-func (n *Network) admitGuaranteed(pt *topology.Port, rate float64) error {
-	return n.controller(pt).AdmitGuaranteed(n.eng.Now(), rate)
+func (n *Network) admitGuaranteed(pt *topology.Port, rate float64, token uint64) error {
+	return n.controller(pt).AdmitGuaranteedOwned(n.eng.Now(), rate, token)
 }
 
-func (n *Network) admitPredicted(pt *topology.Port, spec PredictedSpec, class int) error {
-	return n.controller(pt).AdmitPredicted(n.eng.Now(), spec.TokenRate, spec.BucketBits, class)
+func (n *Network) admitPredicted(pt *topology.Port, spec PredictedSpec, class int, token uint64) error {
+	return n.controller(pt).AdmitPredictedOwned(n.eng.Now(), spec.TokenRate, spec.BucketBits, class, token)
 }
 
 // notePredicted and unnotePredicted exist so that admitted-but-unmeasured

@@ -101,6 +101,10 @@ type Network struct {
 	uni   map[*topology.Port]*sched.Unified
 	admit map[*topology.Port]*admission.Controller
 	flows map[uint32]*Flow
+	// ledgerSeq numbers admission operations; each successful request or
+	// renegotiation tags its warmup-ledger entries with one token, so
+	// releases touch exactly the entries that operation created.
+	ledgerSeq uint64
 }
 
 // New creates an empty ISPN.
@@ -137,17 +141,42 @@ func (n *Network) RNG(name string) *sim.RNG { return sim.DeriveRNG(n.cfg.Seed, n
 func (n *Network) AddSwitch(name string) { n.topo.AddNode(name) }
 
 // Connect adds a unidirectional link from -> to running a unified scheduler,
-// at the network-wide default bandwidth and propagation delay.
+// at the network-wide default bandwidth and propagation delay. It panics on
+// the errors ConnectWith diagnoses (programmatic topology construction
+// treats them as bugs; scenario files go through ConnectWith and get a
+// file:line:col diagnostic instead).
 func (n *Network) Connect(from, to string) *topology.Port {
-	return n.ConnectWith(from, to, n.cfg.LinkRate, n.cfg.PropDelay)
+	pt, err := n.ConnectWith(from, to, n.cfg.LinkRate, n.cfg.PropDelay)
+	if err != nil {
+		panic(err)
+	}
+	return pt
 }
 
 // ConnectWith adds a unidirectional link from -> to running a unified
 // scheduler, with an explicit bandwidth (bits/s) and propagation delay
 // (seconds). Scenario files use this to build heterogeneous topologies
 // (fast access links feeding a slow WAN bottleneck); Connect is the
-// homogeneous shorthand.
-func (n *Network) ConnectWith(from, to string, rate, propDelay float64) *topology.Port {
+// homogeneous shorthand. It rejects unknown switches, duplicate links, a
+// non-positive rate, and a negative delay with a diagnostic error rather
+// than overwriting or misbehaving.
+func (n *Network) ConnectWith(from, to string, rate, propDelay float64) (*topology.Port, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("core: link %s->%s rate must be positive, got %v bits/s", from, to, rate)
+	}
+	if propDelay < 0 {
+		return nil, fmt.Errorf("core: link %s->%s propagation delay must be non-negative, got %vs", from, to, propDelay)
+	}
+	src := n.topo.Node(from)
+	if src == nil {
+		return nil, fmt.Errorf("core: link %s->%s references unknown switch %q", from, to, from)
+	}
+	if n.topo.Node(to) == nil {
+		return nil, fmt.Errorf("core: link %s->%s references unknown switch %q", from, to, to)
+	}
+	if src.Port(to) != nil {
+		return nil, fmt.Errorf("core: duplicate link %s->%s", from, to)
+	}
 	u := sched.NewUnified(sched.UnifiedConfig{
 		LinkRate:         rate,
 		PredictedClasses: n.cfg.PredictedClasses,
@@ -159,7 +188,72 @@ func (n *Network) ConnectWith(from, to string, rate, propDelay float64) *topolog
 	port := n.topo.AddLink(from, to, u, rate, propDelay)
 	port.SetBufferLimit(n.cfg.BufferPackets)
 	n.uni[port] = u
-	return port
+	return port, nil
+}
+
+// port resolves a directed link, or reports it unknown.
+func (n *Network) port(from, to string) (*topology.Port, error) {
+	if nd := n.topo.Node(from); nd != nil {
+		if pt := nd.Port(to); pt != nil {
+			return pt, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no link %s->%s", from, to)
+}
+
+// SetLink reconfigures a link's bandwidth and/or propagation delay mid-run
+// (zero leaves the respective knob unchanged). The new rate must exceed the
+// link's guaranteed reservations; the packet currently being serialized
+// finishes at the old rate. Note that per-flow queueing-delay normalization
+// uses the rates seen at flow setup, so delay reports of flows that straddle
+// a rate change are measured against their setup-time fixed delay.
+func (n *Network) SetLink(from, to string, rate, propDelay float64) error {
+	pt, err := n.port(from, to)
+	if err != nil {
+		return err
+	}
+	if rate != 0 {
+		if rate < 0 {
+			return fmt.Errorf("core: link %s->%s rate must be positive, got %v", from, to, rate)
+		}
+		if res := n.uni[pt].Reserved(); rate <= res {
+			return fmt.Errorf("core: link %s->%s rate %v bits/s does not cover %v bits/s of guaranteed reservations",
+				from, to, rate, res)
+		}
+		n.uni[pt].SetLinkRate(rate, n.eng.Now())
+		pt.SetBandwidth(rate)
+		if c, ok := n.admit[pt]; ok {
+			c.SetLinkRate(rate)
+		}
+	}
+	if propDelay != 0 {
+		if propDelay < 0 {
+			return fmt.Errorf("core: link %s->%s propagation delay must be non-negative, got %v", from, to, propDelay)
+		}
+		pt.SetPropDelay(propDelay)
+	}
+	return nil
+}
+
+// FailLink takes a link down: its queued backlog and all subsequent
+// arrivals are dropped (counted as buffer drops) until RestoreLink.
+func (n *Network) FailLink(from, to string) error {
+	pt, err := n.port(from, to)
+	if err != nil {
+		return err
+	}
+	pt.SetDown(true)
+	return nil
+}
+
+// RestoreLink brings a failed link back with its configured rate and delay.
+func (n *Network) RestoreLink(from, to string) error {
+	pt, err := n.port(from, to)
+	if err != nil {
+		return err
+	}
+	pt.SetDown(false)
+	return nil
 }
 
 // ConnectDuplex adds links in both directions (the reverse direction
@@ -193,6 +287,16 @@ type Flow struct {
 	delivered  int64
 	sinkTap    func(p *packet.Packet, queueing float64)
 	bound      float64
+	// declaredRate is the flow's current declared rate (guaranteed clock
+	// rate or predicted token rate). ledgerTokens lists the admission
+	// operations (initial request plus renegotiations) whose warmup-ledger
+	// entries belong to this flow, so Release hands back exactly this
+	// flow's still-warming claims and never another flow's equal-rate
+	// entry.
+	declaredRate float64
+	ledgerTokens []uint64
+	pspec        PredictedSpec // predicted flows: current spec (renegotiation)
+	gspec        GuaranteedSpec
 }
 
 // Hops returns the number of inter-switch links on the flow's path.
@@ -211,6 +315,14 @@ func (f *Flow) Delivered() int64 { return f.delivered }
 
 // PolicerStats returns edge-enforcement counts (predicted flows only).
 func (f *Flow) PolicerStats() stats.Counter { return f.policerCnt }
+
+// GuaranteedSpec returns the current spec of a guaranteed flow (zero value
+// otherwise); renegotiation merges partial updates into it.
+func (f *Flow) GuaranteedSpec() GuaranteedSpec { return f.gspec }
+
+// PredictedSpec returns the current spec of a predicted flow (zero value
+// otherwise).
+func (f *Flow) PredictedSpec() PredictedSpec { return f.pspec }
 
 // Tap registers a callback invoked at the sink with each delivered packet
 // and its end-to-end queueing delay (adaptive playback clients hook here).
@@ -283,18 +395,23 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: guaranteed flow needs at least one link")
 	}
-	// Admission: never let reservations invade the datagram quota.
-	for _, pt := range ports {
+	// Admission: never let reservations invade the datagram quota. A
+	// failure at a later hop rolls back the ledger entries already
+	// committed at earlier hops, so a refused request charges nothing.
+	token := n.nextLedgerToken()
+	for i, pt := range ports {
 		u := n.uni[pt]
 		if u == nil {
 			return nil, fmt.Errorf("core: port %s does not run the unified scheduler", pt.Name())
 		}
 		if u.Reserved()+spec.ClockRate > (1-n.cfg.DatagramQuota)*pt.Bandwidth() {
+			n.rollbackLedger(ports[:i], token)
 			return nil, fmt.Errorf("core: link %s cannot reserve %v bits/s (reserved %v, quota %v)",
 				pt.Name(), spec.ClockRate, u.Reserved(), (1-n.cfg.DatagramQuota)*pt.Bandwidth())
 		}
 		if n.cfg.AdmissionControl {
-			if err := n.admitGuaranteed(pt, spec.ClockRate); err != nil {
+			if err := n.admitGuaranteed(pt, spec.ClockRate, token); err != nil {
+				n.rollbackLedger(ports[:i], token)
 				return nil, err
 			}
 		}
@@ -303,11 +420,16 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 		n.uni[pt].AddGuaranteed(id, spec.ClockRate)
 	}
 	f := &Flow{
-		ID:    id,
-		Path:  append([]string(nil), path...),
-		Class: packet.Guaranteed,
-		net:   n,
-		bound: PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits)),
+		ID:           id,
+		Path:         append([]string(nil), path...),
+		Class:        packet.Guaranteed,
+		net:          n,
+		bound:        PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits)),
+		declaredRate: spec.ClockRate,
+		gspec:        spec,
+	}
+	if n.cfg.AdmissionControl {
+		f.ledgerTokens = []uint64{token}
 	}
 	n.registerFlow(f)
 	return f, nil
@@ -349,22 +471,29 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: predicted flow needs at least one link")
 	}
+	token := n.nextLedgerToken()
 	if n.cfg.AdmissionControl {
-		for _, pt := range ports {
-			if err := n.admitPredicted(pt, spec, int(class)); err != nil {
+		for i, pt := range ports {
+			if err := n.admitPredicted(pt, spec, int(class), token); err != nil {
+				n.rollbackLedger(ports[:i], token)
 				return nil, err
 			}
 		}
 	}
 	n.notePredicted(ports, spec)
 	f := &Flow{
-		ID:       id,
-		Path:     append([]string(nil), path...),
-		Class:    packet.Predicted,
-		Priority: class,
-		net:      n,
-		policer:  tokenbucket.New(spec.TokenRate, spec.BucketBits),
-		bound:    n.AdvertisedPredictedBound(path, int(class)),
+		ID:           id,
+		Path:         append([]string(nil), path...),
+		Class:        packet.Predicted,
+		Priority:     class,
+		net:          n,
+		policer:      tokenbucket.New(spec.TokenRate, spec.BucketBits),
+		bound:        n.AdvertisedPredictedBound(path, int(class)),
+		declaredRate: spec.TokenRate,
+		pspec:        spec,
+	}
+	if n.cfg.AdmissionControl {
+		f.ledgerTokens = []uint64{token}
 	}
 	n.registerFlow(f)
 	return f, nil
@@ -397,20 +526,172 @@ func (n *Network) AddDatagramFlow(id uint32, path []string) (*Flow, error) {
 	return f, nil
 }
 
-// Release removes a flow's reservations and routing state. Guaranteed flows
-// must have drained from the network (their WFQ queues empty at every hop).
+// Release removes a flow's reservations and releases its admission-control
+// capacity (a departure). Guaranteed backlog still queued at a hop drains at
+// the old clock rate before the WFQ registration disappears, and in-flight
+// packets are still delivered to the flow's sink — the routing state stays
+// so the tail of the flow is not stranded. Releasing an unknown id is a
+// no-op. Flow ids are not reused.
 func (n *Network) Release(id uint32) {
 	f, ok := n.flows[id]
 	if !ok {
 		return
 	}
+	ports := n.topo.PathPorts(f.Path)
 	if f.Class == packet.Guaranteed {
-		for _, pt := range n.topo.PathPorts(f.Path) {
+		for _, pt := range ports {
 			n.uni[pt].RemoveGuaranteed(id)
 		}
 	}
-	if f.Class == packet.Predicted {
-		n.unnotePredicted(n.topo.PathPorts(f.Path), f)
+	if f.Class != packet.Datagram {
+		// Hand this flow's ledger claims (initial request plus any
+		// renegotiations) back to each hop; entries that outlived their
+		// warmup are already gone and release as a no-op.
+		n.releaseLedger(ports, f.ledgerTokens)
 	}
 	delete(n.flows, id)
+}
+
+// nextLedgerToken numbers an admission operation.
+func (n *Network) nextLedgerToken() uint64 {
+	n.ledgerSeq++
+	return n.ledgerSeq
+}
+
+// rollbackLedger releases one operation's admission ledger entries from each
+// port — the undo path when a multi-hop request or renegotiation fails at a
+// later hop after earlier hops already committed.
+func (n *Network) rollbackLedger(ports []*topology.Port, token uint64) {
+	n.releaseLedger(ports, []uint64{token})
+}
+
+// releaseLedger drops every still-warming ledger entry of the given
+// operations from each port's controller.
+func (n *Network) releaseLedger(ports []*topology.Port, tokens []uint64) {
+	now := n.eng.Now()
+	for _, pt := range ports {
+		if c, ok := n.admit[pt]; ok {
+			for _, tok := range tokens {
+				c.ReleaseOwner(now, tok)
+			}
+		}
+	}
+}
+
+// reledger replaces a flow's warmup-ledger claims with a single fresh entry
+// at newRate on every hop — the renegotiation-decrease path. Without the
+// fresh entry a just-admitted, never-measured flow would vanish from ν̂
+// entirely; with it the flow is covered at exactly its new declared rate
+// (and a later increase adds only its delta, so shrink-then-grow sums to
+// the new total instead of double-charging).
+func (n *Network) reledger(ports []*topology.Port, f *Flow, newRate float64, token uint64) {
+	n.releaseLedger(ports, f.ledgerTokens)
+	now := n.eng.Now()
+	for _, pt := range ports {
+		if c, ok := n.admit[pt]; ok {
+			c.Declare(now, newRate, token)
+		}
+	}
+	f.ledgerTokens = []uint64{token}
+}
+
+// RenegotiateGuaranteed changes an existing guaranteed flow's spec in place:
+// a rate increase re-runs the quota and admission checks for the delta; a
+// decrease always succeeds, frees the WFQ share and reservation quota
+// immediately, and replaces the flow's warmup-ledger claims with a single
+// fresh entry at the new (smaller) rate — measurement covers whatever the
+// flow actually sent. On success the flow's advertised bound is recomputed.
+func (n *Network) RenegotiateGuaranteed(id uint32, spec GuaranteedSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	f, ok := n.flows[id]
+	if !ok {
+		return fmt.Errorf("core: flow %d does not exist", id)
+	}
+	if f.Class != packet.Guaranteed {
+		return fmt.Errorf("core: flow %d is not guaranteed", id)
+	}
+	ports := n.topo.PathPorts(f.Path)
+	delta := spec.ClockRate - f.gspec.ClockRate
+	token := n.nextLedgerToken()
+	if delta > 0 {
+		for i, pt := range ports {
+			u := n.uni[pt]
+			if u.Reserved()+delta > (1-n.cfg.DatagramQuota)*pt.Bandwidth() {
+				n.rollbackLedger(ports[:i], token)
+				return fmt.Errorf("core: link %s cannot grow reservation by %v bits/s (reserved %v, quota %v)",
+					pt.Name(), delta, u.Reserved(), (1-n.cfg.DatagramQuota)*pt.Bandwidth())
+			}
+			if n.cfg.AdmissionControl {
+				if err := n.admitGuaranteed(pt, delta, token); err != nil {
+					n.rollbackLedger(ports[:i], token)
+					return err
+				}
+			}
+		}
+		if n.cfg.AdmissionControl {
+			f.ledgerTokens = append(f.ledgerTokens, token)
+		}
+	} else if delta < 0 && n.cfg.AdmissionControl {
+		n.reledger(ports, f, spec.ClockRate, token)
+	}
+	for _, pt := range ports {
+		n.uni[pt].SetGuaranteedRate(id, spec.ClockRate)
+	}
+	f.gspec = spec
+	f.declaredRate = spec.ClockRate
+	f.bound = PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits))
+	return nil
+}
+
+// RenegotiatePredicted changes an existing predicted flow's (r, b) in place.
+// The flow keeps its priority class. Any growth of the commitment — token
+// rate or bucket depth — is re-tested against admission (with the rate
+// delta only, since the flow's current traffic is already inside the
+// measured ν̂, but with the full new bucket, since criterion 2 bounds burst
+// depth against class delay headroom). On success the edge policer is
+// replaced with a fresh bucket at the new parameters.
+func (n *Network) RenegotiatePredicted(id uint32, spec PredictedSpec) error {
+	f, ok := n.flows[id]
+	if !ok {
+		return fmt.Errorf("core: flow %d does not exist", id)
+	}
+	if f.Class != packet.Predicted {
+		return fmt.Errorf("core: flow %d is not predicted", id)
+	}
+	if spec.Delay == 0 {
+		// Renegotiation keeps the class, so a delay target is optional;
+		// a partial spec keeps the flow's current one.
+		spec.Delay = f.pspec.Delay
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	ports := n.topo.PathPorts(f.Path)
+	delta := spec.TokenRate - f.pspec.TokenRate
+	if n.cfg.AdmissionControl {
+		if delta > 0 || spec.BucketBits > f.pspec.BucketBits {
+			token := n.nextLedgerToken()
+			probe := spec
+			probe.TokenRate = 0
+			if delta > 0 {
+				probe.TokenRate = delta
+			}
+			for i, pt := range ports {
+				if err := n.admitPredicted(pt, probe, int(f.Priority), token); err != nil {
+					n.rollbackLedger(ports[:i], token)
+					return err
+				}
+			}
+			f.ledgerTokens = append(f.ledgerTokens, token)
+		}
+		if delta < 0 {
+			n.reledger(ports, f, spec.TokenRate, n.nextLedgerToken())
+		}
+	}
+	f.pspec = spec
+	f.declaredRate = spec.TokenRate
+	f.policer = tokenbucket.New(spec.TokenRate, spec.BucketBits)
+	return nil
 }

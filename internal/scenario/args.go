@@ -218,6 +218,27 @@ func (a *argSet) path(name string, required bool) []Name {
 	return nil
 }
 
+// pathList returns a list argument of paths (used for churn route pools).
+func (a *argSet) pathList(name string) [][]Name {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return nil
+	}
+	if v.Kind != ListVal {
+		a.c.failf(v.Pos, "argument %q must be a list of paths like [A -> B, A -> C]", name)
+		return nil
+	}
+	out := make([][]Name, 0, len(v.List))
+	for _, item := range v.List {
+		if item.Kind != PathVal {
+			a.c.failf(item.Pos, "argument %q: each element must be a path (A -> B)", name)
+			return nil
+		}
+		out = append(out, item.Path)
+	}
+	return out
+}
+
 // fracList returns a list argument of fractions (used for percentiles).
 func (a *argSet) fracList(name string, def []float64) []float64 {
 	v, ok := a.lookup(name, -1)

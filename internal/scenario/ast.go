@@ -19,6 +19,42 @@ type File struct {
 	// Decls in order, so e.g. flow ids are stable across runs.
 	Decls  []*Decl
 	Chains []*Chain
+	// Events are the timeline blocks ("at 20s { ... }"), in file order.
+	Events []*EventBlock
+}
+
+// EventBlock is one "at <time> { statements }" timeline block: its
+// statements execute, in order, at the given simulated time. Blocks at the
+// same timestamp fire in file order (the engine breaks time ties by
+// insertion sequence), so timelines are deterministic.
+type EventBlock struct {
+	AtPos Pos
+	At    Value // the event time (a duration)
+	Stmts []EventStmt
+}
+
+// EventStmt is one statement inside an event block: exactly one of Decl
+// (an element that comes into existence at event time — flows go through
+// admission control then), Chain (an attachment, or a link modification
+// when both endpoints are switches), or Op (a timeline verb).
+type EventStmt struct {
+	Decl  *Decl
+	Chain *Chain
+	Op    *EventOp
+}
+
+// EventOp is a timeline verb:
+//
+//	remove f1, f2        flow departure: stop sources, release reservations
+//	fail A -> B          take each link of the chain down
+//	restore A -> B       bring each link of the chain back up
+//	renew f (args)       renegotiate a flow's spec in place
+type EventOp struct {
+	Verb    string
+	VerbPos Pos
+	Names   []Name // remove/renew targets, or fail/restore chain endpoints
+	Duplex  []bool // fail/restore: whether the arrow between Names[i] and Names[i+1] was "<->"
+	Args    []Arg  // renew only
 }
 
 // Decl declares one or more elements of a kind: "a, b :: Switch" or

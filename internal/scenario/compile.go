@@ -48,6 +48,7 @@ const (
 	classTCP    // TCP
 	classSource // Markov, CBR, Poisson
 	classFilter // TokenBucket
+	classChurn  // Churn (a flow-arrival process, not a single flow)
 )
 
 var kindClass = map[string]elemClass{
@@ -59,6 +60,7 @@ var kindClass = map[string]elemClass{
 	"TCP":    classTCP,
 	"Markov": classSource, "CBR": classSource, "Poisson": classSource,
 	"TokenBucket": classFilter,
+	"Churn":       classChurn,
 }
 
 func kindNames() []string {
@@ -82,21 +84,60 @@ type Sim struct {
 
 	starts []func()
 	report *Report
+
+	// Timeline state: scripted events in file order, churn processes,
+	// the optional per-interval trace, the runtime flow-id allocator, and
+	// the admission ledgerbook the report prints.
+	events   []simEvent
+	churns   []*churnRun
+	trace    *traceRec
+	nextID   uint32
+	adm      AdmissionTotals
+	warnings []string
 }
 
-// SimFlow is one admitted flow with its scenario name and attached traffic.
+// AdmissionTotals counts runtime service requests (scripted events, churn
+// arrivals, renegotiations). Compile-time flows are unconditional and do not
+// count; datagram flows make no commitment and do not count either.
+type AdmissionTotals struct {
+	Requested int64
+	Admitted  int64
+	Rejected  int64
+	Departed  int64
+}
+
+// hasTimeline reports whether the scenario has any dynamic behavior.
+func (s *Sim) hasTimeline() bool { return len(s.events) > 0 || len(s.churns) > 0 }
+
+// SimFlow is one scenario flow with its name and attached traffic. A flow
+// declared inside an "at" block is requested at event time: until then (and
+// forever, if admission rejects it) Flow is nil.
 type SimFlow struct {
 	Name string
 	Kind string // Guaranteed / Predicted / Datagram
 	Flow *core.Flow
 
+	// At is the simulated time the flow is requested (0 = at compile).
+	At float64
+	// Rejected is set when a timeline request fails admission; Reason
+	// carries the diagnostic. Departed is set when a remove event fires.
+	Rejected bool
+	Reason   string
+	Departed bool
+
+	dynamic bool
+	removed bool
+	sources []source.Source   // attached sources (stopped on departure)
 	filters []*source.Policed // TokenBucket elements feeding this flow
 }
 
 // EdgeDropped counts packets refused entry: by the flow's own edge policer
 // and by any TokenBucket filters on its attachment chains.
 func (f *SimFlow) EdgeDropped() int64 {
-	n := f.Flow.PolicerStats().Dropped
+	var n int64
+	if f.Flow != nil {
+		n = f.Flow.PolicerStats().Dropped
+	}
 	for _, p := range f.filters {
 		n += p.Stats().Dropped
 	}
@@ -131,11 +172,26 @@ func Load(path string, opts Options) (*Sim, error) {
 	return Compile(f, opts)
 }
 
-// Run starts every source and connection, advances the engine to the
-// horizon, and summarizes. Subsequent calls return the same report.
+// Run starts every source and connection, schedules the timeline (scripted
+// events in file order, churn arrival processes, trace ticks), advances the
+// engine to the horizon, and summarizes. Subsequent calls return the same
+// report. Everything — including same-timestamp ordering — is deterministic:
+// the engine breaks time ties by insertion sequence and every random stream
+// derives from (seed, element name).
 func (s *Sim) Run() *Report {
 	if s.report != nil {
 		return s.report
+	}
+	eng := s.Net.Engine()
+	for _, ev := range s.events {
+		ev := ev
+		eng.At(ev.at, func() { ev.fn(s) })
+	}
+	for _, ch := range s.churns {
+		ch.schedule(s)
+	}
+	if s.trace != nil {
+		s.trace.arm(s)
 	}
 	for _, fn := range s.starts {
 		fn()
@@ -152,13 +208,21 @@ type compiler struct {
 
 	seed        int64
 	horizon     float64
+	fileHorizon float64 // the file's own horizon, before Options overrides
 	percentiles []float64
+	traceDt     float64
 
 	net      *core.Network
 	decls    map[string]*Decl // element name -> declaring decl
 	switches map[string]bool  // includes generator-produced names
 	links    map[[2]string]bool
 	attached map[string]int // source/filter element name -> use count
+	// dynNames marks every event-declared element (known from pass 1);
+	// declAt records each one's block time (filled as blocks compile, in
+	// file order). Together they let chains reject uses of an element
+	// before it exists.
+	dynNames map[string]bool
+	declAt   map[string]float64
 
 	flows  map[string]*SimFlow
 	nextID uint32
@@ -179,10 +243,25 @@ func (c *compiler) compile() *Sim {
 	c.switches = make(map[string]bool)
 	c.links = make(map[[2]string]bool)
 	c.attached = make(map[string]int)
+	c.dynNames = make(map[string]bool)
+	c.declAt = make(map[string]float64)
 	c.flows = make(map[string]*SimFlow)
 	c.nextID = 1
 
-	// Pass 1: register every declared name and locate Net/Run.
+	// Pass 1: register every declared name and locate Net/Run. Event-block
+	// declarations share the namespace (a timeline flow can be removed or
+	// renewed by name like any other), but only traffic elements may be
+	// declared inside a block — topology and config are static.
+	register := func(d *Decl) bool {
+		for _, n := range d.Names {
+			if prev, dup := c.decls[n.Text]; dup {
+				c.failf(n.Pos, "name %q already declared as %s at line %d", n.Text, prev.Kind, prev.Names[0].Pos.Line)
+				return false
+			}
+			c.decls[n.Text] = d
+		}
+		return true
+	}
 	var netDecl, runDecl *Decl
 	for _, d := range c.file.Decls {
 		cls, known := kindClass[d.Kind]
@@ -190,16 +269,12 @@ func (c *compiler) compile() *Sim {
 			c.failf(d.KindPos, "unknown element kind %q (kinds: %s)", d.Kind, joinWords(kindNames()))
 			return nil
 		}
-		if cls == classGenerator && len(d.Names) != 1 {
-			c.failf(d.Names[1].Pos, "%s declares a topology namespace and takes exactly one name", d.Kind)
+		if (cls == classGenerator || cls == classChurn) && len(d.Names) != 1 {
+			c.failf(d.Names[1].Pos, "%s takes exactly one name", d.Kind)
 			return nil
 		}
-		for _, n := range d.Names {
-			if prev, dup := c.decls[n.Text]; dup {
-				c.failf(n.Pos, "name %q already declared as %s at line %d", n.Text, prev.Kind, prev.Names[0].Pos.Line)
-				return nil
-			}
-			c.decls[n.Text] = d
+		if !register(d) {
+			return nil
 		}
 		switch d.Kind {
 		case "Net":
@@ -216,6 +291,31 @@ func (c *compiler) compile() *Sim {
 			runDecl = d
 		}
 	}
+	for _, b := range c.file.Events {
+		for _, st := range b.Stmts {
+			if st.Decl == nil {
+				continue
+			}
+			d := st.Decl
+			cls, known := kindClass[d.Kind]
+			if !known {
+				c.failf(d.KindPos, "unknown element kind %q (kinds: %s)", d.Kind, joinWords(kindNames()))
+				return nil
+			}
+			switch cls {
+			case classFlow, classTCP, classSource, classFilter:
+			default:
+				c.failf(d.KindPos, "%s cannot be declared inside an at block (only flows, TCP connections, sources and TokenBucket filters arrive mid-run)", d.Kind)
+				return nil
+			}
+			if !register(d) {
+				return nil
+			}
+			for _, n := range d.Names {
+				c.dynNames[n.Text] = true
+			}
+		}
+	}
 
 	// Pass 2: run knobs, then the network itself.
 	c.runKnobs(runDecl)
@@ -230,6 +330,9 @@ func (c *compiler) compile() *Sim {
 		Seed:        c.seed,
 		Horizon:     c.horizon,
 		Percentiles: c.percentiles,
+	}
+	if c.traceDt > 0 {
+		c.out.trace = newTraceRec(c.traceDt, c.horizon)
 	}
 
 	// Pass 3: topology — switch declarations and generators, in order.
@@ -261,17 +364,20 @@ func (c *compiler) compile() *Sim {
 		}
 	}
 
-	// Pass 5: flows and TCP connections, in declaration order (ids are
-	// assigned sequentially, so reports and random streams are stable).
+	// Pass 5: flows, TCP connections, and churn processes, in declaration
+	// order (ids are assigned sequentially, so reports and random streams
+	// are stable).
 	for _, d := range c.file.Decls {
 		if !c.ok() {
 			return nil
 		}
 		switch kindClass[d.Kind] {
 		case classFlow:
-			c.flowDecl(d)
+			c.flowDecl(d, 0, false)
 		case classTCP:
-			c.tcpDecl(d)
+			c.tcpDecl(d, 0)
+		case classChurn:
+			c.churnDecl(d)
 		}
 	}
 
@@ -280,11 +386,21 @@ func (c *compiler) compile() *Sim {
 		if !c.ok() {
 			return nil
 		}
-		c.attachChain(ch)
+		c.attachChain(ch, 0, false)
+	}
+
+	// Pass 7: the timeline, block by block in file order. Each statement
+	// becomes one engine event at the block's time, so same-timestamp
+	// blocks and statements fire in file order.
+	for _, b := range c.file.Events {
+		if !c.ok() {
+			return nil
+		}
+		c.eventBlock(b)
 	}
 
 	// Validator epilogue: every traffic element must be used.
-	for _, d := range c.file.Decls {
+	for _, d := range c.allDecls() {
 		cls := kindClass[d.Kind]
 		if cls != classSource && cls != classFilter {
 			continue
@@ -298,7 +414,22 @@ func (c *compiler) compile() *Sim {
 	if !c.ok() {
 		return nil
 	}
+	c.out.nextID = c.nextID
 	return c.out
+}
+
+// allDecls returns every declaration — top-level and event-block — in file
+// order.
+func (c *compiler) allDecls() []*Decl {
+	out := append([]*Decl(nil), c.file.Decls...)
+	for _, b := range c.file.Events {
+		for _, st := range b.Stmts {
+			if st.Decl != nil {
+				out = append(out, st.Decl)
+			}
+		}
+	}
+	return out
 }
 
 func (c *compiler) runKnobs(d *Decl) {
@@ -310,14 +441,19 @@ func (c *compiler) runKnobs(d *Decl) {
 		c.seed = int64(a.count("seed", 0, int(DefaultSeed)))
 		c.horizon = a.duration("horizon", 1, DefaultHorizon)
 		c.percentiles = a.fracList("percentiles", DefaultPercentiles)
-		a.finish("seed", "horizon", "percentiles")
+		c.traceDt = a.duration("trace", -1, 0)
+		a.finish("seed", "horizon", "percentiles", "trace")
 		if c.horizon <= 0 {
 			c.failf(d.KindPos, "horizon must be positive, got %v", c.horizon)
+		}
+		if c.traceDt < 0 {
+			c.failf(d.KindPos, "trace interval must be positive, got %v", c.traceDt)
 		}
 	}
 	if c.opts.SeedSet || c.opts.Seed != 0 {
 		c.seed = c.opts.Seed
 	}
+	c.fileHorizon = c.horizon
 	if c.opts.Horizon > 0 {
 		c.horizon = c.opts.Horizon
 	}
@@ -396,7 +532,9 @@ func (c *compiler) addLink(from, to string, rate, delay float64, pos Pos) {
 		return
 	}
 	c.links[key] = true
-	c.net.ConnectWith(from, to, rate, delay)
+	if _, err := c.net.ConnectWith(from, to, rate, delay); err != nil {
+		c.failf(pos, "%v", err)
+	}
 }
 
 // isLinkChain reports whether every endpoint of the chain is a switch
@@ -430,6 +568,30 @@ func (c *compiler) linkChain(ch *Chain) {
 			c.addLink(to.Text, from.Text, rate, delay, from.Pos)
 		}
 	}
+}
+
+// elementAvailable checks that an element referenced by a chain already
+// exists at the chain's time: event-declared elements come into existence at
+// their block's time, so a static chain may not use them at all and an event
+// chain may not use them earlier.
+func (c *compiler) elementAvailable(n Name, kind string, at float64, dynamic bool) bool {
+	if !c.dynNames[n.Text] {
+		return true
+	}
+	if !dynamic {
+		c.failf(n.Pos, "%s %q arrives inside an at block; attach it inside that at block", kind, n.Text)
+		return false
+	}
+	t, ok := c.declAt[n.Text]
+	if !ok {
+		c.failf(n.Pos, "%s %q is declared in a later at block; statements compile in file order, so move that block earlier", kind, n.Text)
+		return false
+	}
+	if t > at {
+		c.failf(n.Pos, "%s %q does not arrive until %vs (this event is at %vs)", kind, n.Text, t, at)
+		return false
+	}
+	return true
 }
 
 // what reports a name that is not what the context needs, saying what it
@@ -468,66 +630,76 @@ func (c *compiler) allocID() uint32 {
 	return id
 }
 
-func (c *compiler) flowDecl(d *Decl) {
+// flowDecl compiles a flow declaration. With dynamic false the request
+// happens now and a rejection is a compile error (a static scenario that
+// cannot be admitted is malformed). With dynamic true the request is
+// deferred into one timeline event at time at — the flow passes through
+// admission mid-run and a rejection is a *result*, counted in the report,
+// not an error.
+func (c *compiler) flowDecl(d *Decl, at float64, dynamic bool) {
 	a := c.argsOf(d)
 	path := a.path("path", true)
 	var nodes []string
 	if c.ok() {
 		nodes = c.pathNodes(path)
 	}
+	var reqs []*flowReq
+	var sfs []*SimFlow
 	for _, n := range d.Names {
 		if !c.ok() {
 			return
 		}
-		var f *core.Flow
-		var err error
-		id := c.allocID()
+		req := &flowReq{kind: d.Kind, id: c.allocID(), nodes: nodes, class: -1}
 		switch d.Kind {
 		case "Guaranteed":
-			spec := core.GuaranteedSpec{
+			req.g = core.GuaranteedSpec{
 				ClockRate:  a.bitrate("rate", -1, 0),
 				BucketBits: a.bits("bucket", -1, DefaultBucketPkt*DefaultPktBits),
 			}
 			a.finish("path", "rate", "bucket")
-			if !c.ok() {
-				return
-			}
-			f, err = c.net.RequestGuaranteed(id, nodes, spec)
 		case "Predicted":
-			spec := core.PredictedSpec{
+			req.p = core.PredictedSpec{
 				TokenRate:  a.bitrate("rate", -1, 0),
 				BucketBits: a.bits("bucket", -1, DefaultBucketPkt*DefaultPktBits),
 				Delay:      a.duration("delay", -1, 0.5),
 				Loss:       a.fraction("loss", -1, 0.01),
 			}
-			class := a.count("class", -1, -1)
+			req.class = a.count("class", -1, -1)
 			a.finish("path", "rate", "bucket", "delay", "loss", "class")
-			if !c.ok() {
-				return
-			}
-			if class >= 0 {
-				f, err = c.net.RequestPredictedClass(id, nodes, uint8(class), spec)
-			} else {
-				f, err = c.net.RequestPredicted(id, nodes, spec)
-			}
 		case "Datagram":
 			a.finish("path")
-			if !c.ok() {
-				return
-			}
-			f, err = c.net.AddDatagramFlow(id, nodes)
 		}
-		if err != nil {
-			c.failf(d.KindPos, "%s %q rejected: %v", d.Kind, n.Text, err)
+		if !c.ok() {
 			return
 		}
-		sf := &SimFlow{Name: n.Text, Kind: d.Kind, Flow: f}
+		sf := &SimFlow{Name: n.Text, Kind: d.Kind, At: at, dynamic: dynamic}
 		c.flows[n.Text] = sf
 		c.out.Flows = append(c.out.Flows, sf)
+		sfs = append(sfs, sf)
+		reqs = append(reqs, req)
+	}
+	if dynamic {
+		c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
+			for i, sf := range sfs {
+				s.requestFlow(sf, reqs[i])
+			}
+		}})
+		return
+	}
+	for i, sf := range sfs {
+		f, err := reqs[i].issue(c.net)
+		if err != nil {
+			c.failf(d.KindPos, "%s %q rejected: %v", d.Kind, sf.Name, err)
+			return
+		}
+		sf.Flow = f
+		c.out.tapFlow(f)
 	}
 }
 
-func (c *compiler) tcpDecl(d *Decl) {
+// tcpDecl compiles a TCP declaration; at > 0 (an at-block arrival) floors
+// the connection's start time at the event time.
+func (c *compiler) tcpDecl(d *Decl, at float64) {
 	a := c.argsOf(d)
 	fwd := a.path("path", true)
 	var nodes []string
@@ -565,6 +737,9 @@ func (c *compiler) tcpDecl(d *Decl) {
 		MinRTO:      a.duration("minrto", -1, 0),
 	}
 	startAt := a.duration("start", -1, 0)
+	if startAt < at {
+		startAt = at
+	}
 	a.finish("path", "back", "segment", "ack", "maxcwnd", "minrto", "start")
 	for _, n := range d.Names {
 		if !c.ok() {
@@ -587,8 +762,10 @@ func (c *compiler) tcpDecl(d *Decl) {
 	}
 }
 
-// attachChain wires source -> [TokenBucket ->]* flow.
-func (c *compiler) attachChain(ch *Chain) {
+// attachChain wires source -> [TokenBucket ->]* flow. With dynamic true the
+// chain lives in an at block: the source is built now but started at event
+// time — and only if the flow was actually admitted.
+func (c *compiler) attachChain(ch *Chain, at float64, dynamic bool) {
 	for i, dup := range ch.Duplex {
 		if dup {
 			c.failf(ch.Ends[i].Pos, `attachments are directional; use "->"`)
@@ -605,10 +782,28 @@ func (c *compiler) attachChain(ch *Chain) {
 		c.what(head, "a traffic source or switch", "at the head of a chain")
 		return
 	}
+	if !c.elementAvailable(head, srcDecl.Kind, at, dynamic) {
+		return
+	}
 	last := ch.Ends[len(ch.Ends)-1]
 	flow, ok := c.flows[last.Text]
 	if !ok {
+		// A declared flow missing from c.flows is an at-block arrival
+		// that has not been compiled yet (timeline blocks compile after
+		// static chains, in file order).
+		if d, isDecl := c.decls[last.Text]; isDecl && kindClass[d.Kind] == classFlow {
+			if dynamic {
+				c.failf(last.Pos, "flow %q is declared in a later at block; statements compile in file order, so move that block earlier", last.Text)
+			} else {
+				c.failf(last.Pos, "flow %q arrives inside an at block; attach its traffic inside that at block", last.Text)
+			}
+			return
+		}
 		c.what(last, "a Guaranteed/Predicted/Datagram flow", "at the end of an attachment")
+		return
+	}
+	if dynamic && flow.dynamic && flow.At > at {
+		c.failf(last.Pos, "flow %q does not arrive until %vs (this event is at %vs)", last.Text, flow.At, at)
 		return
 	}
 	// Middle elements must be TokenBucket filters, each used once.
@@ -620,6 +815,9 @@ func (c *compiler) attachChain(ch *Chain) {
 		fd, ok := c.decls[mid.Text]
 		if !ok || kindClass[fd.Kind] != classFilter {
 			c.what(mid, "a TokenBucket", "in the middle of an attachment")
+			return
+		}
+		if !c.elementAvailable(mid, fd.Kind, at, dynamic) {
 			return
 		}
 		if c.attached[mid.Text] > 0 {
@@ -644,7 +842,7 @@ func (c *compiler) attachChain(ch *Chain) {
 		c.failf(head.Pos, "source %q is already attached; a source feeds one flow", head.Text)
 		return
 	}
-	c.startSource(src, srcDecl, head, flow)
+	c.startSource(src, srcDecl, flow, at, dynamic)
 }
 
 // buildSource constructs the generator for one attachment. Class and
@@ -697,12 +895,30 @@ func (c *compiler) buildSource(d *Decl, n Name, flow *SimFlow) source.Source {
 	return src
 }
 
-// startSource defers the actual Start into Sim.Run.
-func (c *compiler) startSource(src source.Source, d *Decl, n Name, flow *SimFlow) {
+// startSource defers the actual Start into Sim.Run — for a static chain via
+// the start list, for a timeline chain via an event that fires only if the
+// flow was admitted (and not yet removed).
+func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at float64, dynamic bool) {
 	a := c.argsOf(d)
 	startAt := a.duration("start", -1, 0)
 	source.AttachPool(src, c.net.Pool())
 	eng := c.net.Engine()
+	flow.sources = append(flow.sources, src)
+	if dynamic {
+		c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
+			if flow.Flow == nil || flow.removed {
+				return
+			}
+			inject := flow.Flow.Inject
+			begin := func() { src.Start(eng, func(p *packet.Packet) { inject(p) }) }
+			if startAt > at {
+				eng.At(startAt, begin)
+			} else {
+				begin()
+			}
+		}})
+		return
+	}
 	inject := flow.Flow.Inject
 	begin := func() { src.Start(eng, func(p *packet.Packet) { inject(p) }) }
 	if startAt > 0 {

@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The annotated examples in docs/SCENARIO.md must stay compilable: every
+// untagged fenced block that contains a declaration is parsed and compiled
+// (not simulated) here.
+func TestScenarioDocExamplesCompile(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SCENARIO.md")
+	if err != nil {
+		t.Fatalf("read docs/SCENARIO.md: %v", err)
+	}
+	parts := strings.Split(string(data), "```")
+	// parts alternates prose / fence body; odd indices are fenced blocks.
+	examples := 0
+	for i := 1; i < len(parts); i += 2 {
+		body := parts[i]
+		if !strings.HasPrefix(body, "\n") { // tagged fence, e.g. ```ebnf
+			continue
+		}
+		if !strings.Contains(body, "::") {
+			continue
+		}
+		examples++
+		name := fmt.Sprintf("SCENARIO.md example %d", examples)
+		f, err := Parse(name, []byte(body))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+			continue
+		}
+		if _, err := Compile(f, Options{}); err != nil {
+			t.Errorf("%s does not compile: %v", name, err)
+		}
+	}
+	if examples < 3 {
+		t.Fatalf("found %d scenario examples in docs/SCENARIO.md, want >= 3", examples)
+	}
+}

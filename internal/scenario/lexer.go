@@ -188,6 +188,12 @@ func (lx *lexer) next() token {
 	case c == '%':
 		lx.advance()
 		return token{kind: tokPercent, pos: pos}
+	case c == '{':
+		lx.advance()
+		return token{kind: tokLBrace, pos: pos}
+	case c == '}':
+		lx.advance()
+		return token{kind: tokRBrace, pos: pos}
 	}
 	lx.err = errf(lx.file, pos, "unexpected character %q", string(c))
 	return token{kind: tokEOF, pos: pos}

@@ -115,8 +115,8 @@ func (p *parser) expect(k tokKind, context string) token {
 	return p.advance()
 }
 
-// statement parses one declaration or chain (empty ";" statements are
-// skipped).
+// statement parses one declaration, chain, or "at" event block (empty ";"
+// statements are skipped).
 func (p *parser) statement(f *File) {
 	if p.tok.kind == tokSemi {
 		p.advance()
@@ -126,14 +126,98 @@ func (p *parser) statement(f *File) {
 		p.fail(p.tok.pos, "expected a declaration or link, found %s", p.tok.describe())
 		return
 	}
+	if p.tok.text == "at" && p.peekKind() == tokNumber {
+		p.eventBlock(f)
+		return
+	}
 	first := p.name()
 	switch p.tok.kind {
 	case tokArrow, tokDuplex:
-		p.chain(f, first)
+		f.Chains = append(f.Chains, p.chain(first))
 	case tokDoubleColon, tokComma:
-		p.decl(f, first)
+		if d := p.decl(first); d != nil {
+			f.Decls = append(f.Decls, d)
+		}
 	default:
 		p.fail(p.tok.pos, `expected "::", "->", "<->" or "," after %q, found %s`, first.Text, p.tok.describe())
+	}
+	for p.tok.kind == tokSemi {
+		p.advance()
+	}
+}
+
+// eventBlock parses `at <time> { event-statements }`, the "at" still current.
+func (p *parser) eventBlock(f *File) {
+	atTok := p.advance()
+	b := &EventBlock{AtPos: atTok.pos, At: p.value()}
+	p.expect(tokLBrace, `after "at <time>"`)
+	for p.err == nil && p.tok.kind != tokRBrace {
+		if p.tok.kind == tokSemi {
+			p.advance()
+			continue
+		}
+		if p.tok.kind == tokEOF {
+			p.fail(b.AtPos, `unterminated "at" block (missing "}")`)
+			return
+		}
+		p.eventStmt(b)
+	}
+	p.expect(tokRBrace, `to close the "at" block`)
+	f.Events = append(f.Events, b)
+	for p.tok.kind == tokSemi {
+		p.advance()
+	}
+}
+
+// eventStmt parses one statement inside an event block. The identifiers
+// "remove", "fail", "restore" and "renew" are verbs in this position (and
+// only in this position — top-level elements may still use those names).
+func (p *parser) eventStmt(b *EventBlock) {
+	if p.tok.kind != tokIdent {
+		p.fail(p.tok.pos, "expected an event statement, found %s", p.tok.describe())
+		return
+	}
+	switch p.tok.text {
+	case "remove":
+		t := p.advance()
+		op := &EventOp{Verb: "remove", VerbPos: t.pos, Names: []Name{p.name()}}
+		for p.tok.kind == tokComma {
+			p.advance()
+			op.Names = append(op.Names, p.name())
+		}
+		b.Stmts = append(b.Stmts, EventStmt{Op: op})
+	case "fail", "restore":
+		t := p.advance()
+		op := &EventOp{Verb: t.text, VerbPos: t.pos, Names: []Name{p.name()}}
+		if p.tok.kind != tokArrow && p.tok.kind != tokDuplex {
+			p.fail(p.tok.pos, `%s needs a link (A -> B or A <-> B), found %s`, op.Verb, p.tok.describe())
+			return
+		}
+		for p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+			op.Duplex = append(op.Duplex, p.tok.kind == tokDuplex)
+			p.advance()
+			op.Names = append(op.Names, p.name())
+		}
+		b.Stmts = append(b.Stmts, EventStmt{Op: op})
+	case "renew":
+		t := p.advance()
+		op := &EventOp{Verb: "renew", VerbPos: t.pos, Names: []Name{p.name()}}
+		p.expect(tokLParen, "after the renew target")
+		op.Args = p.args()
+		b.Stmts = append(b.Stmts, EventStmt{Op: op})
+	default:
+		first := p.name()
+		switch p.tok.kind {
+		case tokArrow, tokDuplex:
+			b.Stmts = append(b.Stmts, EventStmt{Chain: p.chain(first)})
+		case tokDoubleColon, tokComma:
+			if d := p.decl(first); d != nil {
+				b.Stmts = append(b.Stmts, EventStmt{Decl: d})
+			}
+		default:
+			p.fail(p.tok.pos, `expected "::", "->", "<->", "," or an event verb after %q, found %s`,
+				first.Text, p.tok.describe())
+		}
 	}
 	for p.tok.kind == tokSemi {
 		p.advance()
@@ -145,8 +229,9 @@ func (p *parser) name() Name {
 	return Name{Text: t.text, Pos: t.pos}
 }
 
-// decl parses "a[, b...] :: Kind[(args)]" with first already consumed.
-func (p *parser) decl(f *File, first Name) {
+// decl parses "a[, b...] :: Kind[(args)]" with first already consumed. It
+// returns nil when a name is malformed.
+func (p *parser) decl(first Name) *Decl {
 	d := &Decl{Names: []Name{first}}
 	for p.tok.kind == tokComma {
 		p.advance()
@@ -162,14 +247,14 @@ func (p *parser) decl(f *File, first Name) {
 	for _, n := range d.Names {
 		if strings.Contains(n.Text, ".") {
 			p.fail(n.Pos, "declared name %q may not contain '.' (dotted names belong to topology generators)", n.Text)
-			return
+			return nil
 		}
 	}
-	f.Decls = append(f.Decls, d)
+	return d
 }
 
 // chain parses "A -> B [<-> C ...][:: Link(args)]" with A consumed.
-func (p *parser) chain(f *File, first Name) {
+func (p *parser) chain(first Name) *Chain {
 	c := &Chain{Ends: []Name{first}}
 	for p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
 		c.Duplex = append(c.Duplex, p.tok.kind == tokDuplex)
@@ -181,12 +266,12 @@ func (p *parser) chain(f *File, first Name) {
 		kind := p.expect(tokIdent, "after '::' on a link")
 		if kind.text != "Link" {
 			p.fail(kind.pos, "a chain can only be annotated with Link(...), found %q", kind.text)
-			return
+			return c
 		}
 		p.expect(tokLParen, "after Link")
 		c.Attrs = p.args()
 	}
-	f.Chains = append(f.Chains, c)
+	return c
 }
 
 // args parses a ')'-terminated argument list, the '(' already consumed.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"ispn/internal/stats"
 )
 
 // Report is the result of one scenario run: a per-flow delay summary, TCP
@@ -19,6 +21,42 @@ type Report struct {
 	Flows []FlowReport
 	TCPs  []TCPReport
 	Links []LinkReport
+
+	// Admission totals runtime service requests; nil for static scenarios
+	// (compile-time flows are unconditional). Churns summarizes each Churn
+	// element's arrival process; Trace holds the per-interval curves when
+	// Run(trace <dt>) is set; Warnings are runtime timeline diagnostics
+	// (e.g. a link event refused because of live reservations).
+	Admission *AdmissionTotals
+	Churns    []ChurnReport
+	Trace     []TraceRow
+	Warnings  []string
+}
+
+// ChurnReport summarizes one Churn element: its arrival/admission counts and
+// the delay statistics aggregated over every flow it ever admitted.
+type ChurnReport struct {
+	Name      string
+	Arrivals  int64
+	Admitted  int64
+	Rejected  int64
+	Departed  int64
+	Delivered int64
+	MeanMS    float64
+	PctMS     []float64 // one entry per Report.Percentiles
+	MaxMS     float64
+}
+
+// TraceRow is one full trace interval.
+type TraceRow struct {
+	Start, End float64
+	Delivered  int64
+	MeanMS     float64
+	MaxMS      float64
+	Admitted   int64
+	Rejected   int64
+	Departed   int64
+	Util       float64 // aggregate link utilization over the interval
 }
 
 // FlowReport summarizes one flow.
@@ -26,6 +64,13 @@ type FlowReport struct {
 	Name    string
 	Service string // "guaranteed", "predicted/«class»", "datagram"
 	Hops    int
+	// ArriveS is the simulated time the flow was requested (0 = at start).
+	// Rejected marks a timeline request refused by admission (Reason says
+	// why); Departed marks a flow removed before the horizon.
+	ArriveS  float64
+	Rejected bool
+	Reason   string
+	Departed bool
 	// Delivered counts packets that reached the sink; EdgeDropped counts
 	// packets refused entry by token-bucket policing.
 	Delivered   int64
@@ -62,19 +107,28 @@ func (s *Sim) buildReport() *Report {
 		Percentiles: s.Percentiles,
 	}
 	for _, f := range s.Flows {
-		m := f.Flow.Meter()
 		fr := FlowReport{
-			Name:        f.Name,
-			Service:     serviceName(f),
-			Hops:        f.Flow.Hops(),
-			Delivered:   f.Flow.Delivered(),
-			EdgeDropped: f.EdgeDropped(),
-			BoundMS:     f.Flow.Bound() * 1e3,
-			MeanMS:      m.Mean() * 1e3,
-			MaxMS:       m.Max() * 1e3,
+			Name:     f.Name,
+			Service:  serviceName(f),
+			ArriveS:  f.At,
+			Rejected: f.Rejected,
+			Reason:   f.Reason,
+			Departed: f.Departed,
+			BoundMS:  -1,
 		}
-		for _, p := range s.Percentiles {
-			fr.PctMS = append(fr.PctMS, m.Percentile(p)*1e3)
+		if f.Flow != nil {
+			m := f.Flow.Meter()
+			fr.Hops = f.Flow.Hops()
+			fr.Delivered = f.Flow.Delivered()
+			fr.EdgeDropped = f.EdgeDropped()
+			fr.BoundMS = f.Flow.Bound() * 1e3
+			fr.MeanMS = m.Mean() * 1e3
+			fr.MaxMS = m.Max() * 1e3
+			for _, p := range s.Percentiles {
+				fr.PctMS = append(fr.PctMS, m.Percentile(p)*1e3)
+			}
+		} else {
+			fr.PctMS = make([]float64, len(s.Percentiles))
 		}
 		r.Flows = append(r.Flows, fr)
 	}
@@ -102,6 +156,52 @@ func (s *Sim) buildReport() *Report {
 			})
 		}
 	}
+	for _, ch := range s.churns {
+		agg := stats.NewRecorder()
+		var delivered int64
+		for _, f := range ch.flows {
+			agg.Absorb(f.Meter())
+			delivered += f.Delivered()
+		}
+		cr := ChurnReport{
+			Name:      ch.name,
+			Arrivals:  ch.arrivals,
+			Admitted:  ch.admitted,
+			Rejected:  ch.rejected,
+			Departed:  ch.departed,
+			Delivered: delivered,
+			MeanMS:    agg.Mean() * 1e3,
+			MaxMS:     agg.Max() * 1e3,
+		}
+		for _, p := range s.Percentiles {
+			cr.PctMS = append(cr.PctMS, agg.Percentile(p)*1e3)
+		}
+		r.Churns = append(r.Churns, cr)
+	}
+	if s.hasTimeline() {
+		adm := s.adm
+		r.Admission = &adm
+	}
+	if tr := s.trace; tr != nil {
+		for k := 0; k < tr.nfull; k++ {
+			d := tr.delay.Bin(k)
+			row := TraceRow{
+				Start:     float64(k) * tr.dt,
+				End:       float64(k+1) * tr.dt,
+				Delivered: d.N,
+				MeanMS:    d.Mean() * 1e3,
+				MaxMS:     d.Max * 1e3,
+				Admitted:  tr.admitted.Bin(k).N,
+				Rejected:  tr.rejected.Bin(k).N,
+				Departed:  tr.departed.Bin(k).N,
+			}
+			if k < len(tr.util) {
+				row.Util = tr.util[k]
+			}
+			r.Trace = append(r.Trace, row)
+		}
+	}
+	r.Warnings = append(r.Warnings, s.warnings...)
 	return r
 }
 
@@ -110,6 +210,9 @@ func serviceName(f *SimFlow) string {
 	case "Guaranteed":
 		return "guaranteed"
 	case "Predicted":
+		if f.Flow == nil {
+			return "predicted"
+		}
 		return fmt.Sprintf("predicted/%d", f.Flow.Priority)
 	default:
 		return "datagram"
@@ -119,6 +222,12 @@ func serviceName(f *SimFlow) string {
 // pctLabel renders 0.999 as "p99.9".
 func pctLabel(p float64) string {
 	return "p" + strconv.FormatFloat(p*100, 'f', -1, 64)
+}
+
+// trimSeconds renders a time without trailing zeros (10, 0.5, 112.5), so
+// sub-second trace intervals stay readable.
+func trimSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
 // Format renders the report as the stats table ispnsim prints.
@@ -132,8 +241,17 @@ func (r *Report) Format() string {
 			fmt.Fprintf(&b, "  %9s", pctLabel(p))
 		}
 		b.WriteString("       mean        max      bound\n")
+		departed, rejected := false, false
 		for _, f := range r.Flows {
-			fmt.Fprintf(&b, "%-15s %-14s %4d  %10d %8d", f.Name, f.Service, f.Hops, f.Delivered, f.EdgeDropped)
+			service := f.Service
+			if f.Rejected {
+				service = "rejected"
+				rejected = true
+			} else if f.Departed {
+				service += "*"
+				departed = true
+			}
+			fmt.Fprintf(&b, "%-15s %-14s %4d  %10d %8d", f.Name, service, f.Hops, f.Delivered, f.EdgeDropped)
 			for _, v := range f.PctMS {
 				fmt.Fprintf(&b, "  %9.2f", v)
 			}
@@ -144,6 +262,33 @@ func (r *Report) Format() string {
 			fmt.Fprintf(&b, "  %9.2f  %9.2f %s\n", f.MeanMS, f.MaxMS, bound)
 		}
 		b.WriteString("(delays in ms of queueing)\n")
+		if departed {
+			b.WriteString("(* departed before the horizon)\n")
+		}
+		if rejected {
+			b.WriteString("(rejected: refused by admission control at arrival time)\n")
+		}
+	}
+
+	if len(r.Churns) > 0 {
+		b.WriteString("\nchurn           arrivals  admitted  rejected  departed   delivered")
+		for _, p := range r.Percentiles {
+			fmt.Fprintf(&b, "  %9s", pctLabel(p))
+		}
+		b.WriteString("       mean        max\n")
+		for _, ch := range r.Churns {
+			fmt.Fprintf(&b, "%-15s %8d  %8d  %8d  %8d  %10d", ch.Name, ch.Arrivals, ch.Admitted, ch.Rejected, ch.Departed, ch.Delivered)
+			for _, v := range ch.PctMS {
+				fmt.Fprintf(&b, "  %9.2f", v)
+			}
+			fmt.Fprintf(&b, "  %9.2f  %9.2f\n", ch.MeanMS, ch.MaxMS)
+		}
+	}
+
+	if r.Admission != nil {
+		a := r.Admission
+		fmt.Fprintf(&b, "\nadmission: %d requested, %d admitted, %d rejected, %d departed\n",
+			a.Requested, a.Admitted, a.Rejected, a.Departed)
 	}
 
 	if len(r.TCPs) > 0 {
@@ -158,6 +303,23 @@ func (r *Report) Format() string {
 		b.WriteString("\nlink                      util   drops\n")
 		for _, l := range r.Links {
 			fmt.Fprintf(&b, "%-24s %4.0f%% %7d\n", l.Name, l.Utilization*100, l.Drops)
+		}
+	}
+
+	if len(r.Trace) > 0 {
+		fmt.Fprintf(&b, "\ntrace (%ss intervals)\n", trimSeconds(r.Trace[0].End-r.Trace[0].Start))
+		b.WriteString("interval             delivered   mean(ms)    max(ms)  admit  reject  depart   util\n")
+		for _, row := range r.Trace {
+			fmt.Fprintf(&b, "[%6ss, %6ss)  %9d  %9.2f  %9.2f  %5d  %6d  %6d  %4.0f%%\n",
+				trimSeconds(row.Start), trimSeconds(row.End), row.Delivered, row.MeanMS, row.MaxMS,
+				row.Admitted, row.Rejected, row.Departed, row.Util*100)
+		}
+	}
+
+	if len(r.Warnings) > 0 {
+		b.WriteString("\ntimeline warnings:\n")
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&b, "  %s\n", w)
 		}
 	}
 	return b.String()

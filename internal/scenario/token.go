@@ -41,6 +41,8 @@ const (
 	tokComma       // ,
 	tokSemi        // ;
 	tokPercent     // %
+	tokLBrace      // {
+	tokRBrace      // }
 )
 
 func (k tokKind) String() string {
@@ -73,6 +75,10 @@ func (k tokKind) String() string {
 		return `";"`
 	case tokPercent:
 		return `"%"`
+	case tokLBrace:
+		return `"{"`
+	case tokRBrace:
+		return `"}"`
 	}
 	return "token"
 }

@@ -96,8 +96,12 @@ func (u *Unified) AddGuaranteed(id uint32, rate float64) {
 	u.WFQ.SetRate(Flow0ID, u.cfg.LinkRate-u.reserved)
 }
 
-// RemoveGuaranteed unregisters an empty guaranteed flow and returns its
-// share to flow 0.
+// RemoveGuaranteed unregisters a guaranteed flow and returns its share to
+// flow 0. A backlogged flow (mid-run departure) keeps draining at its old
+// clock rate and unregisters itself once empty; its share returns to flow 0
+// immediately, so the link is transiently oversubscribed in clock rates —
+// WFQ virtual time tolerates that, and the backlog is bounded by the
+// departing flow's token bucket.
 func (u *Unified) RemoveGuaranteed(id uint32) {
 	rate := u.WFQ.Rate(id)
 	if rate == 0 {
@@ -106,6 +110,35 @@ func (u *Unified) RemoveGuaranteed(id uint32) {
 	u.WFQ.RemoveFlow(id)
 	u.reserved -= rate
 	u.WFQ.SetRate(Flow0ID, u.cfg.LinkRate-u.reserved)
+}
+
+// SetGuaranteedRate renegotiates a guaranteed flow's clock rate in place,
+// adjusting flow 0's leftover share. It panics if the flow is unknown or the
+// new reservation total would exhaust the link.
+func (u *Unified) SetGuaranteedRate(id uint32, rate float64) {
+	old := u.WFQ.Rate(id)
+	if old == 0 {
+		panic(fmt.Sprintf("sched: SetGuaranteedRate on unreserved flow %d", id))
+	}
+	if u.reserved-old+rate >= u.cfg.LinkRate {
+		panic(fmt.Sprintf("sched: renegotiated reservations %.0f would exhaust link rate %.0f",
+			u.reserved-old+rate, u.cfg.LinkRate))
+	}
+	u.WFQ.SetRate(id, rate)
+	u.reserved += rate - old
+	u.WFQ.SetRate(Flow0ID, u.cfg.LinkRate-u.reserved)
+}
+
+// SetLinkRate reconfigures the output link bandwidth mid-run (scenario link
+// events). Existing reservations are preserved; flow 0 absorbs the
+// difference. It panics unless the new rate still exceeds the reserved sum.
+func (u *Unified) SetLinkRate(rate, now float64) {
+	if rate <= u.reserved {
+		panic(fmt.Sprintf("sched: link rate %.0f below reserved %.0f", rate, u.reserved))
+	}
+	u.cfg.LinkRate = rate
+	u.WFQ.SetLinkRate(rate, now)
+	u.WFQ.SetRate(Flow0ID, rate-u.reserved)
 }
 
 // Reserved returns the sum of guaranteed clock rates at this port.
@@ -129,11 +162,12 @@ func (u *Unified) ClassDelayEstimate(i int, now float64) float64 {
 // Enqueue implements Scheduler: guaranteed packets are routed to their own
 // WFQ flow by flow id; everything else lands in flow 0 directly (no per-flow
 // lookup — only guaranteed flows are ever registered with the WFQ layer).
+// A guaranteed packet whose reservation is gone — the tail of a departed
+// flow still in flight from upstream hops — is demoted into flow 0 (it
+// lands in the top predicted class): the hard commitment ended with the
+// reservation, but the residue is still delivered.
 func (u *Unified) Enqueue(p *packet.Packet, now float64) {
-	if p.Class == packet.Guaranteed {
-		if u.WFQ.Rate(p.FlowID) == 0 {
-			panic(fmt.Sprintf("sched: guaranteed packet for unreserved flow %d", p.FlowID))
-		}
+	if p.Class == packet.Guaranteed && u.WFQ.Rate(p.FlowID) != 0 {
 		u.WFQ.Enqueue(p, now)
 		return
 	}

@@ -100,14 +100,41 @@ func TestUnifiedOversubscriptionPanics(t *testing.T) {
 	u.AddGuaranteed(2, 5e5)
 }
 
-func TestUnifiedGuaranteedPacketWithoutReservationPanics(t *testing.T) {
+func TestUnifiedGuaranteedPacketWithoutReservationDemotes(t *testing.T) {
+	// The tail of a departed guaranteed flow (reservation already released,
+	// packets still in flight from upstream hops) rides flow 0 instead of
+	// panicking.
 	u := newTestUnified()
+	u.Enqueue(pktClass(5, 0, 1000, packet.Guaranteed, 0), 0)
+	if u.Len() != 1 {
+		t.Fatal("unreserved guaranteed packet was not accepted into flow 0")
+	}
+	p := u.Dequeue(0)
+	if p == nil || p.FlowID != 5 {
+		t.Fatalf("demoted packet not served: %v", p)
+	}
+}
+
+func TestUnifiedSetLinkAndGuaranteedRate(t *testing.T) {
+	u := newTestUnified()
+	u.AddGuaranteed(1, 2e5)
+	u.SetGuaranteedRate(1, 4e5)
+	if u.Reserved() != 4e5 {
+		t.Fatalf("Reserved = %v after renegotiation, want 4e5", u.Reserved())
+	}
+	if got := u.WFQ.Rate(Flow0ID); got != 6e5 {
+		t.Fatalf("flow 0 rate = %v, want 6e5", got)
+	}
+	u.SetLinkRate(8e5, 0)
+	if got := u.WFQ.Rate(Flow0ID); got != 4e5 {
+		t.Fatalf("flow 0 rate after link change = %v, want 4e5", got)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("guaranteed packet without reservation did not panic")
+			t.Fatal("link rate below reservations did not panic")
 		}
 	}()
-	u.Enqueue(pktClass(5, 0, 1000, packet.Guaranteed, 0), 0)
+	u.SetLinkRate(3e5, 0)
 }
 
 func TestUnifiedPredictedClassSchedulers(t *testing.T) {

@@ -42,6 +42,7 @@ type wfqFlow struct {
 	lastFinish float64
 	tags       queue.FloatRing
 	child      Scheduler
+	closing    bool // unregister once the backlog drains (RemoveFlow mid-run)
 }
 
 // NewWFQ returns an empty WFQ scheduler for a link of the given rate
@@ -101,17 +102,25 @@ func (w *WFQ) SetRate(id uint32, rate float64) {
 	f.rate = rate
 }
 
-// RemoveFlow unregisters an empty flow. It panics if the flow still has
-// queued packets.
+// RemoveFlow unregisters a flow. An empty flow is dropped immediately; a
+// backlogged flow (a mid-run departure with packets still queued) is marked
+// closing and keeps draining at its clock rate, unregistering itself after
+// its last dequeue. Until then the id stays registered, so its in-flight
+// packets are still served in order.
 func (w *WFQ) RemoveFlow(id uint32) {
 	f, ok := w.byID[id]
 	if !ok {
 		return
 	}
 	if f.tags.Len() > 0 {
-		panic("sched: WFQ RemoveFlow on backlogged flow")
+		f.closing = true
+		return
 	}
-	delete(w.byID, id)
+	w.unregister(f)
+}
+
+func (w *WFQ) unregister(f *wfqFlow) {
+	delete(w.byID, f.id)
 	for i, g := range w.flows {
 		if g == f {
 			w.flows = append(w.flows[:i], w.flows[i+1:]...)
@@ -122,6 +131,20 @@ func (w *WFQ) RemoveFlow(id uint32) {
 		w.fallback = nil
 	}
 }
+
+// SetLinkRate changes the link rate µ that drives virtual time. Virtual
+// time is advanced to now first, so the change only affects service from now
+// on (mid-run link reconfiguration).
+func (w *WFQ) SetLinkRate(rate, now float64) {
+	if rate <= 0 {
+		panic("sched: WFQ link rate must be positive")
+	}
+	w.advance(now)
+	w.linkRate = rate
+}
+
+// LinkRate returns the configured link rate.
+func (w *WFQ) LinkRate() float64 { return w.linkRate }
 
 // Rate returns the clock rate of flow id (0 if unknown).
 func (w *WFQ) Rate(id uint32) float64 {
@@ -216,6 +239,9 @@ func (w *WFQ) Dequeue(now float64) *packet.Packet {
 		w.activeRate -= f.rate
 		if w.activeRate < 1e-9 {
 			w.activeRate = 0
+		}
+		if f.closing {
+			w.unregister(f)
 		}
 	}
 	p := f.child.Dequeue(now)

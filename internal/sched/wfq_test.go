@@ -224,16 +224,33 @@ func TestWFQRemoveFlow(t *testing.T) {
 	w.RemoveFlow(99) // unknown: no-op
 }
 
-func TestWFQRemoveBackloggedFlowPanics(t *testing.T) {
+func TestWFQRemoveBackloggedFlowDrains(t *testing.T) {
 	w := NewWFQ(1e6)
 	w.AddFlow(1, 1e5)
 	w.Enqueue(pkt(1, 0, 1000), 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RemoveFlow on backlogged flow did not panic")
-		}
-	}()
+	w.Enqueue(pkt(1, 1, 1000), 0)
 	w.RemoveFlow(1)
+	// The departing flow keeps its registration (and clock rate) until its
+	// backlog drains, so in-flight packets are still served in order.
+	if w.Rate(1) == 0 {
+		t.Fatal("closing flow unregistered before draining")
+	}
+	if p := w.Dequeue(0); p == nil || p.FlowID != 1 {
+		t.Fatalf("first drain dequeue = %v", p)
+	}
+	if w.Rate(1) == 0 {
+		t.Fatal("closing flow unregistered with one packet still queued")
+	}
+	if p := w.Dequeue(0); p == nil || p.FlowID != 1 {
+		t.Fatalf("second drain dequeue = %v", p)
+	}
+	if w.Rate(1) != 0 {
+		t.Fatal("drained closing flow still registered")
+	}
+	w.AddFlow(1, 2e5) // the id is reusable once fully drained
+	if w.Rate(1) != 2e5 {
+		t.Fatal("re-added flow has wrong rate")
+	}
 }
 
 func TestWFQSetRate(t *testing.T) {

@@ -54,6 +54,9 @@ func (r *Replay) Start(eng *sim.Engine, inject Inject) {
 	for _, it := range r.items {
 		it := it
 		eng.At(it.Time, func() {
+			if r.stopped {
+				return
+			}
 			p := r.newPacket(eng.Now())
 			p.Size = it.Size
 			inject(p)

@@ -29,6 +29,24 @@ type Source interface {
 	Generated() int64
 }
 
+// Stopper is implemented by sources that can be silenced mid-run. The
+// timeline subsystem stops a flow's sources when the flow departs; a stopped
+// source emits nothing further but keeps its counters, and its pending tick
+// event simply expires.
+type Stopper interface {
+	// Stop ends generation permanently. Safe before Start and when
+	// already stopped.
+	Stop()
+}
+
+// StopSource stops src if it supports stopping (all generators in this
+// package do; wrappers delegate to their inner source).
+func StopSource(src Source) {
+	if st, ok := src.(Stopper); ok {
+		st.Stop()
+	}
+}
+
 // PoolUser is implemented by sources that can allocate their packets from a
 // free list instead of the heap.
 type PoolUser interface {
@@ -55,10 +73,14 @@ type common struct {
 	seq       uint64
 	generated int64
 	pool      *packet.Pool
+	stopped   bool
 }
 
 // SetPool implements PoolUser.
 func (c *common) SetPool(pl *packet.Pool) { c.pool = pl }
+
+// Stop implements Stopper.
+func (c *common) Stop() { c.stopped = true }
 
 func (c *common) newPacket(now float64) *packet.Packet {
 	var p *packet.Packet
@@ -139,6 +161,9 @@ func (m *Markov) Start(eng *sim.Engine, inject Inject) {
 	remaining := 0
 	var tick func()
 	tick = func() {
+		if m.stopped {
+			return
+		}
 		if remaining == 0 {
 			// Start of a burst: draw its length.
 			remaining = m.rng.Geometric(m.burst)
@@ -194,6 +219,9 @@ func (c *CBR) Start(eng *sim.Engine, inject Inject) {
 	}
 	var tick func()
 	tick = func() {
+		if c.stopped {
+			return
+		}
 		inject(c.newPacket(eng.Now()))
 		eng.Schedule(c.interval, tick)
 	}
@@ -234,6 +262,9 @@ func NewPoisson(cfg PoissonConfig) *Poisson {
 func (p *Poisson) Start(eng *sim.Engine, inject Inject) {
 	var tick func()
 	tick = func() {
+		if p.stopped {
+			return
+		}
 		inject(p.newPacket(eng.Now()))
 		eng.Schedule(p.rng.Exp(p.mean), tick)
 	}
@@ -263,6 +294,9 @@ func (f *Policed) SetPool(pl *packet.Pool) {
 		u.SetPool(pl)
 	}
 }
+
+// Stop implements Stopper by delegating to the wrapped source.
+func (f *Policed) Stop() { StopSource(f.inner) }
 
 // Start implements Source.
 func (f *Policed) Start(eng *sim.Engine, inject Inject) {

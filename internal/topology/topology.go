@@ -284,6 +284,7 @@ type Port struct {
 	sched      sched.Scheduler
 	bandwidth  float64
 	propDelay  float64
+	down       bool
 	limit      int
 	qlen       int // mirrors sched.Len(), avoiding interface calls per packet
 	busy       bool
@@ -325,6 +326,67 @@ func (pt *Port) Bandwidth() float64 { return pt.bandwidth }
 // SetBufferLimit overrides the buffer size in packets.
 func (pt *Port) SetBufferLimit(n int) { pt.limit = n }
 
+// SetBandwidth changes the link rate mid-run. The packet currently being
+// serialized (if any) finishes at the old rate; the next transmission uses
+// the new one. Callers that precomputed fixed delays from the old rate (the
+// per-flow queueing-delay normalization) keep their setup-time value.
+func (pt *Port) SetBandwidth(r float64) {
+	if r <= 0 {
+		panic("topology: bandwidth must be positive")
+	}
+	pt.bandwidth = r
+}
+
+// PropDelay returns the link's propagation delay in seconds.
+func (pt *Port) PropDelay() float64 { return pt.propDelay }
+
+// SetPropDelay changes the propagation delay mid-run; packets already on the
+// wire keep the old delay.
+func (pt *Port) SetPropDelay(d float64) {
+	if d < 0 {
+		panic("topology: propagation delay must be non-negative")
+	}
+	pt.propDelay = d
+}
+
+// Down reports whether the link is failed.
+func (pt *Port) Down() bool { return pt.down }
+
+// SetDown fails or restores the link. Failing drops the entire queued
+// backlog (counted as buffer drops) and every subsequent arrival until the
+// link is restored; a packet mid-serialization still reaches the far end
+// (it was already committed to the wire). Restoring resumes normal service
+// with whatever rate/delay the port had.
+func (pt *Port) SetDown(down bool) {
+	if pt.down == down {
+		return
+	}
+	pt.down = down
+	if down {
+		pt.flush()
+	}
+}
+
+// flush drops every queued packet (link failure).
+func (pt *Port) flush() {
+	now := pt.node.net.eng.Now()
+	for pt.sched.Len() > 0 {
+		p := pt.sched.Dequeue(now)
+		if p == nil {
+			break // non-work-conserving scheduler holding ineligible packets
+		}
+		pt.qlen--
+		if int(p.Class) < len(pt.lenByClass) {
+			pt.lenByClass[p.Class]--
+		}
+		pt.counter.Dropped++
+		if int(p.Class) < len(pt.dropsByClass) {
+			pt.dropsByClass[p.Class]++
+		}
+		packet.Release(p)
+	}
+}
+
 // Counter returns enqueue/drop counts.
 func (pt *Port) Counter() stats.Counter { return pt.counter }
 
@@ -345,6 +407,10 @@ func (pt *Port) Utilization(now float64) float64 {
 	return pt.util.Rate(now) / pt.bandwidth
 }
 
+// TxBits returns lifetime transmitted bits (per-interval utilization curves
+// difference successive readings).
+func (pt *Port) TxBits() int64 { return pt.txBits }
+
 // TotalUtilization returns lifetime transmitted bits divided by capacity
 // over elapsed time.
 func (pt *Port) TotalUtilization(now float64) float64 {
@@ -357,6 +423,14 @@ func (pt *Port) TotalUtilization(now float64) float64 {
 func (pt *Port) enqueue(p *packet.Packet) {
 	now := pt.node.net.eng.Now()
 	pt.counter.Total++
+	if pt.down {
+		pt.counter.Dropped++
+		if int(p.Class) < len(pt.dropsByClass) {
+			pt.dropsByClass[p.Class]++
+		}
+		packet.Release(p)
+		return
+	}
 	// Buffer admission is class-aware: a guaranteed packet is refused
 	// only when the guaranteed class itself fills the buffer. Without
 	// this, a best-effort or predicted flood would break the guaranteed
