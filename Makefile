@@ -33,15 +33,17 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Tier-1 benchmark trajectory for CI: run the two headline benchmarks at a
-# fixed iteration count, emit BENCH_<sha>.json (ns/op, B/op, allocs/op), and
+# Tier-1 benchmark trajectory for CI: run the headline benchmarks (raw
+# throughput, zero-alloc facade steady state, heterogeneous per-link
+# pipelines) at a fixed iteration count, emit BENCH_<sha>.json (ns/op,
+# B/op, allocs/op), and
 # fail if the zero-alloc facade path regresses above 0 allocs/op. 20
 # iterations keep the wall clock low while amortizing the recorder's
 # occasional sample-storage growth out of the integer allocs/op report.
 # The bench run lands in a temp file first (not a pipe) so a failing
 # benchmark fails the target instead of vanishing behind benchjson's status.
 bench-json:
-	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork' \
+	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork|MixedDeployment' \
 		-benchtime 20x -benchmem . > BENCH.out \
 		|| { cat BENCH.out; rm -f BENCH.out; exit 1; }
 	@$(GO) run ./cmd/benchjson -sha $(SHA) -out BENCH_$(SHA).json \

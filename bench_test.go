@@ -147,6 +147,21 @@ func BenchmarkAblationDiscard(b *testing.B) {
 	}
 }
 
+// BenchmarkMixedDeployment regenerates the partial-rollout study: the
+// Table-2 workload with 0 to 4 of the chain's links upgraded from FIFO to
+// FIFO+ — the heterogeneous per-link pipeline path end to end.
+func BenchmarkMixedDeployment(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MixedDeployment(experiments.RunConfig{Duration: 30, Seed: int64(1992 + i)})
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].PerPath[3].P999, "FIFO-len4-p999-ms")
+			b.ReportMetric(rows[2].PerPath[3].P999, "half-len4-p999-ms")
+			b.ReportMetric(rows[4].PerPath[3].P999, "FIFO+-len4-p999-ms")
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed on the Table-3
 // configuration: simulated packet-hops per wall-clock second dominate how
 // long every other experiment takes.

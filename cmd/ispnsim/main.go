@@ -44,6 +44,7 @@ experiments:
   sweep               extension: delay vs utilization curve per discipline
   dist                extension: full delay distributions (ASCII histogram)
   churn               extension: dynamic call churn through admission control
+  mixed               extension: partial FIFO+ rollout over the Table-2 chain
   all                 everything above
 
 scenarios:
@@ -215,6 +216,11 @@ func main() {
 				return experiments.FormatChurn(experiments.ChurnStress(cfg))
 			})
 		},
+		"mixed": func() {
+			run("mixed", func() string {
+				return experiments.FormatMixed(experiments.MixedDeployment(cfg))
+			})
+		},
 		"dist": func() {
 			run("dist", func() string {
 				var b string
@@ -229,7 +235,7 @@ func main() {
 	}
 	order := []string{"figure1", "table1", "table2", "table3",
 		"ablation-isolation", "ablation-hops", "admission", "playback", "discard",
-		"compare", "sweep", "dist", "churn"}
+		"compare", "sweep", "dist", "churn", "mixed"}
 
 	name := flag.Arg(0)
 	if name == "all" {

@@ -140,6 +140,25 @@ func (c *Controller) SetLinkRate(mu float64) {
 	c.mu = mu
 }
 
+// SetQuota updates the real-time cap after a mid-run scheduling-profile
+// swap. The utilization measurement is kept: the traffic did not change,
+// the policy did.
+func (c *Controller) SetQuota(quota float64) {
+	if quota <= 0 || quota > 1 {
+		panic("admission: quota must be in (0,1]")
+	}
+	c.quota = quota
+}
+
+// SetClassTargets replaces the per-class delay targets after a mid-run
+// scheduling-profile swap.
+func (c *Controller) SetClassTargets(targets []float64) {
+	if len(targets) == 0 {
+		panic("admission: need at least one class target")
+	}
+	c.targets = append(c.targets[:0], targets...)
+}
+
 // Declare inserts a ledger entry for an already-authorized declared rate
 // without running the admission tests — the renegotiation-decrease path uses
 // it to re-cover a flow at its new, smaller rate.

@@ -37,15 +37,15 @@ func TestConnectWithDiagnostics(t *testing.T) {
 		{"A", "B", 1e6, -0.001, "delay must be non-negative"},
 	}
 	for _, tc := range cases {
-		if _, err := n.ConnectWith(tc.from, tc.to, tc.rate, tc.delay); err == nil || !strings.Contains(err.Error(), tc.want) {
+		if _, err := n.ConnectWith(tc.from, tc.to, tc.rate, tc.delay, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("ConnectWith(%s,%s,%v,%v) err = %v, want containing %q",
 				tc.from, tc.to, tc.rate, tc.delay, err, tc.want)
 		}
 	}
-	if _, err := n.ConnectWith("A", "B", 1e6, 0); err != nil {
+	if _, err := n.ConnectWith("A", "B", 1e6, 0, nil); err != nil {
 		t.Fatalf("valid link rejected: %v", err)
 	}
-	if _, err := n.ConnectWith("A", "B", 1e6, 0); err == nil || !strings.Contains(err.Error(), "duplicate link") {
+	if _, err := n.ConnectWith("A", "B", 1e6, 0, nil); err == nil || !strings.Contains(err.Error(), "duplicate link") {
 		t.Fatalf("duplicate link err = %v, want duplicate diagnostic", err)
 	}
 }
@@ -290,7 +290,7 @@ func TestPartialAdmissionRollsBack(t *testing.T) {
 		n.AddSwitch(s)
 	}
 	n.Connect("A", "B") // 1 Mbit/s
-	if _, err := n.ConnectWith("B", "C", 2e5, 0); err != nil {
+	if _, err := n.ConnectWith("B", "C", 2e5, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	// 500k passes A->B but fails B->C (0.9 * 200k = 180k): the whole

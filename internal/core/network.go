@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"ispn/internal/admission"
 	"ispn/internal/packet"
@@ -12,12 +13,30 @@ import (
 	"ispn/internal/topology"
 )
 
-// Config parameterizes an ISPN network in which every link runs the unified
-// scheduler.
+// NoDatagramQuota is the Config.DatagramQuota (and sched.Profile) sentinel
+// meaning "reserve nothing for datagram traffic". The zero value means "use
+// the paper's default" (0.10), so an explicit zero-quota network needs this
+// sentinel — any negative value works, this constant is the documented
+// spelling.
+const NoDatagramQuota = sched.NoDatagramQuota
+
+// Config parameterizes an ISPN network. It doubles as the *default per-port
+// scheduling profile*: every link created without an explicit profile runs
+// the pipeline these fields describe, and ConnectWith can override any of it
+// per link (heterogeneous deployments).
+//
+// Zero-value handling: a zero field selects the paper's default, which makes
+// "explicitly zero" inexpressible for two knobs. DatagramQuota has the
+// NoDatagramQuota sentinel for "no datagram reservation"; LinkRate has no
+// sentinel because a zero-rate link is meaningless (negative values panic
+// rather than being silently replaced).
 type Config struct {
 	// LinkRate is the inter-switch link bandwidth in bits/second
-	// (paper: 1 Mbit/s).
+	// (paper: 1 Mbit/s). 0 selects the default; negative values panic.
 	LinkRate float64
+	// Discipline is the default per-port pipeline kind (sched.KindUnified
+	// when empty; see sched.PipelineKinds for the registry).
+	Discipline string
 	// PredictedClasses is K, the number of predicted-service priority
 	// classes (paper's Table 3 uses 2).
 	PredictedClasses int
@@ -42,26 +61,31 @@ type Config struct {
 	// against the hard 90% reservation quota.
 	AdmissionControl bool
 	// DatagramQuota is the fraction of each link reserved for datagram
-	// traffic (paper: 0.10).
+	// traffic: 0 means the paper's default (0.10), NoDatagramQuota means
+	// no reservation at all.
 	DatagramQuota float64
 	// Seed drives all randomness derived from this network.
 	Seed int64
 }
 
 // SharingMode selects the sharing discipline inside each predicted class.
-type SharingMode int
+// It is sched.Sharing; the core aliases keep the historical names.
+type SharingMode = sched.Sharing
 
 const (
 	// SharingFIFOPlus is the paper's design (FIFO+).
-	SharingFIFOPlus SharingMode = iota
+	SharingFIFOPlus = sched.SharingFIFOPlus
 	// SharingFIFO is plain FIFO (no cross-hop correlation).
-	SharingFIFO
+	SharingFIFO = sched.SharingFIFO
 	// SharingRoundRobin is per-flow round robin (the Jacobson–Floyd
 	// alternative).
-	SharingRoundRobin
+	SharingRoundRobin = sched.SharingRoundRobin
 )
 
 func (c *Config) fillDefaults() {
+	if c.LinkRate < 0 {
+		panic(fmt.Sprintf("core: LinkRate must be positive, got %v", c.LinkRate))
+	}
 	if c.LinkRate == 0 {
 		c.LinkRate = 1e6
 	}
@@ -74,8 +98,14 @@ func (c *Config) fillDefaults() {
 	if c.MaxPacketBits == 0 {
 		c.MaxPacketBits = 1000
 	}
+	// DatagramQuota: zero means the paper's default; NoDatagramQuota (any
+	// negative value) is kept as-is and interpreted as quota 0 everywhere
+	// via sched.Profile.Quota.
 	if c.DatagramQuota == 0 {
-		c.DatagramQuota = 0.10
+		c.DatagramQuota = sched.DefaultDatagramQuota
+	}
+	if c.DatagramQuota >= 1 {
+		panic(fmt.Sprintf("core: DatagramQuota must be below 1, got %v", c.DatagramQuota))
 	}
 	if len(c.ClassTargets) == 0 {
 		// Widely spaced targets, an order of magnitude apart.
@@ -91,15 +121,33 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Network is an ISPN: a topology whose every link runs the unified
-// scheduler, plus the bookkeeping that turns service requests into
-// reservations, enforcement and measurement.
+// profile derives the default per-port scheduling profile from the filled
+// config.
+func (c *Config) profile() sched.Profile {
+	return sched.Profile{
+		Kind:          c.Discipline,
+		Sharing:       c.Sharing,
+		ClassTargets:  c.ClassTargets,
+		DatagramQuota: c.DatagramQuota,
+		FIFOPlusGain:  c.FIFOPlusGain,
+		MaxPacketBits: c.MaxPacketBits,
+	}.Normalize()
+}
+
+// Network is an ISPN: a topology whose every output port runs a scheduling
+// pipeline built from a per-port profile (the config's profile by default),
+// plus the bookkeeping that turns service requests into reservations,
+// enforcement and measurement. Per-port state is held in dense slices
+// indexed by topology.Port.Index, so no map iteration order can leak into
+// results.
 type Network struct {
 	cfg   Config
+	def   sched.Profile // default per-port profile, derived from cfg
 	eng   *sim.Engine
 	topo  *topology.Network
-	uni   map[*topology.Port]*sched.Unified
-	admit map[*topology.Port]*admission.Controller
+	pipes []sched.Pipeline        // port index -> pipeline
+	profs []sched.Profile         // port index -> effective profile
+	admit []*admission.Controller // port index -> controller (nil until used)
 	flows map[uint32]*Flow
 	// ledgerSeq numbers admission operations; each successful request or
 	// renegotiation tags its warmup-ledger entries with one token, so
@@ -113,9 +161,9 @@ func New(cfg Config) *Network {
 	eng := sim.New()
 	return &Network{
 		cfg:   cfg,
+		def:   cfg.profile(),
 		eng:   eng,
 		topo:  topology.NewNetwork(eng),
-		uni:   make(map[*topology.Port]*sched.Unified),
 		flows: make(map[uint32]*Flow),
 	}
 }
@@ -134,33 +182,39 @@ func (n *Network) Topology() *topology.Network { return n.topo }
 // Config returns the network configuration (defaults filled).
 func (n *Network) Config() Config { return n.cfg }
 
+// DefaultProfile returns the per-port scheduling profile links get when
+// ConnectWith is given none — the network config, seen as a profile.
+func (n *Network) DefaultProfile() sched.Profile { return n.def }
+
 // RNG derives a deterministic named random stream from the network seed.
 func (n *Network) RNG(name string) *sim.RNG { return sim.DeriveRNG(n.cfg.Seed, name) }
 
 // AddSwitch adds a switch.
 func (n *Network) AddSwitch(name string) { n.topo.AddNode(name) }
 
-// Connect adds a unidirectional link from -> to running a unified scheduler,
-// at the network-wide default bandwidth and propagation delay. It panics on
-// the errors ConnectWith diagnoses (programmatic topology construction
-// treats them as bugs; scenario files go through ConnectWith and get a
-// file:line:col diagnostic instead).
+// Connect adds a unidirectional link from -> to running the default
+// pipeline, at the network-wide default bandwidth and propagation delay. It
+// panics on the errors ConnectWith diagnoses (programmatic topology
+// construction treats them as bugs; scenario files go through ConnectWith
+// and get a file:line:col diagnostic instead).
 func (n *Network) Connect(from, to string) *topology.Port {
-	pt, err := n.ConnectWith(from, to, n.cfg.LinkRate, n.cfg.PropDelay)
+	pt, err := n.ConnectWith(from, to, n.cfg.LinkRate, n.cfg.PropDelay, nil)
 	if err != nil {
 		panic(err)
 	}
 	return pt
 }
 
-// ConnectWith adds a unidirectional link from -> to running a unified
-// scheduler, with an explicit bandwidth (bits/s) and propagation delay
-// (seconds). Scenario files use this to build heterogeneous topologies
-// (fast access links feeding a slow WAN bottleneck); Connect is the
-// homogeneous shorthand. It rejects unknown switches, duplicate links, a
-// non-positive rate, and a negative delay with a diagnostic error rather
-// than overwriting or misbehaving.
-func (n *Network) ConnectWith(from, to string, rate, propDelay float64) (*topology.Port, error) {
+// ConnectWith adds a unidirectional link from -> to with an explicit
+// bandwidth (bits/s), propagation delay (seconds), and — the unit of
+// heterogeneous deployment — an optional per-link scheduling profile. A nil
+// profile selects the network default (the config); a non-nil profile is
+// normalized and built through the sched pipeline registry, so a scenario
+// can put plain WFQ on a WAN core link and the full unified scheduler on the
+// edges. It rejects unknown switches, duplicate links, a non-positive rate,
+// a negative delay, and an unbuildable profile with a diagnostic error
+// rather than overwriting or misbehaving.
+func (n *Network) ConnectWith(from, to string, rate, propDelay float64, prof *sched.Profile) (*topology.Port, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("core: link %s->%s rate must be positive, got %v bits/s", from, to, rate)
 	}
@@ -177,18 +231,44 @@ func (n *Network) ConnectWith(from, to string, rate, propDelay float64) (*topolo
 	if src.Port(to) != nil {
 		return nil, fmt.Errorf("core: duplicate link %s->%s", from, to)
 	}
-	u := sched.NewUnified(sched.UnifiedConfig{
-		LinkRate:         rate,
-		PredictedClasses: n.cfg.PredictedClasses,
-		FIFOPlusGain:     n.cfg.FIFOPlusGain,
-		PlainFIFO:        n.cfg.Sharing == SharingFIFO,
-		RoundRobin:       n.cfg.Sharing == SharingRoundRobin,
-		MaxPacketBits:    n.cfg.MaxPacketBits,
-	})
-	port := n.topo.AddLink(from, to, u, rate, propDelay)
+	effective := n.def
+	if prof != nil {
+		effective = prof.Normalize()
+	}
+	pipe, err := sched.NewPipeline(effective, rate)
+	if err != nil {
+		return nil, fmt.Errorf("core: link %s->%s: %v", from, to, err)
+	}
+	// The dense per-port slices are indexed by Port.Index, which counts
+	// every AddLink on the topology — links added behind the network's
+	// back would silently shift the correspondence.
+	if n.topo.NumPorts() != len(n.pipes) {
+		panic("core: topology ports were added outside ConnectWith; per-port state is indexed by creation order")
+	}
+	port := n.topo.AddLink(from, to, pipe, rate, propDelay)
 	port.SetBufferLimit(n.cfg.BufferPackets)
-	n.uni[port] = u
+	n.pipes = append(n.pipes, pipe)
+	n.profs = append(n.profs, effective)
+	n.admit = append(n.admit, nil)
 	return port, nil
+}
+
+// pipe returns the pipeline at a port.
+func (n *Network) pipe(pt *topology.Port) sched.Pipeline { return n.pipes[pt.Index()] }
+
+// Pipeline returns the scheduling pipeline running at a port.
+func (n *Network) Pipeline(pt *topology.Port) sched.Pipeline { return n.pipe(pt) }
+
+// ProfileAt returns the effective (normalized) scheduling profile of a port.
+func (n *Network) ProfileAt(pt *topology.Port) sched.Profile { return n.profs[pt.Index()] }
+
+// LinkProfile returns the effective profile of the link from -> to.
+func (n *Network) LinkProfile(from, to string) (sched.Profile, error) {
+	pt, err := n.port(from, to)
+	if err != nil {
+		return sched.Profile{}, err
+	}
+	return n.profs[pt.Index()], nil
 }
 
 // port resolves a directed link, or reports it unknown.
@@ -216,13 +296,14 @@ func (n *Network) SetLink(from, to string, rate, propDelay float64) error {
 		if rate < 0 {
 			return fmt.Errorf("core: link %s->%s rate must be positive, got %v", from, to, rate)
 		}
-		if res := n.uni[pt].Reserved(); rate <= res {
+		pipe := n.pipe(pt)
+		if res := pipe.Reserved(); rate <= res {
 			return fmt.Errorf("core: link %s->%s rate %v bits/s does not cover %v bits/s of guaranteed reservations",
 				from, to, rate, res)
 		}
-		n.uni[pt].SetLinkRate(rate, n.eng.Now())
+		pipe.SetLinkRate(rate, n.eng.Now())
 		pt.SetBandwidth(rate)
-		if c, ok := n.admit[pt]; ok {
+		if c := n.admit[pt.Index()]; c != nil {
 			c.SetLinkRate(rate)
 		}
 	}
@@ -233,6 +314,77 @@ func (n *Network) SetLink(from, to string, rate, propDelay float64) error {
 		pt.SetPropDelay(propDelay)
 	}
 	return nil
+}
+
+// SetLinkProfile rebuilds the scheduling pipeline of link from -> to around
+// a new profile mid-run — an incremental deployment event (a hop upgraded
+// from FIFO to FIFO+, a core link switched to plain WFQ). Guaranteed
+// reservations carry over: the new profile must support them and its
+// datagram quota must still leave room, otherwise the swap is refused and
+// the old pipeline stays. The queued backlog migrates into the new pipeline
+// in the old one's service order; the admission controller (if any) adopts
+// the new quota and class targets but keeps its utilization measurement —
+// the traffic did not change, the discipline did.
+func (n *Network) SetLinkProfile(from, to string, prof sched.Profile) error {
+	pt, err := n.port(from, to)
+	if err != nil {
+		return err
+	}
+	idx := pt.Index()
+	prof = prof.Normalize()
+	pipe, err := sched.NewPipeline(prof, pt.Bandwidth())
+	if err != nil {
+		return fmt.Errorf("core: link %s->%s: %v", from, to, err)
+	}
+	old := n.pipes[idx]
+	if res := old.Reserved(); res > 0 {
+		if !pipe.SupportsGuaranteed() {
+			return fmt.Errorf("core: link %s->%s carries %v bits/s of guaranteed reservations; a %s pipeline cannot honor them",
+				from, to, res, prof.Kind)
+		}
+		if res > (1-prof.Quota())*pt.Bandwidth() {
+			return fmt.Errorf("core: link %s->%s: new profile's datagram quota %v does not cover %v bits/s of reservations",
+				from, to, prof.Quota(), res)
+		}
+	}
+	// Re-register live guaranteed flows crossing this port, in flow-id
+	// order (the flows map must not dictate any ordering).
+	if pipe.SupportsGuaranteed() {
+		for _, f := range n.flowsByID() {
+			if f.Class != packet.Guaranteed {
+				continue
+			}
+			for _, fp := range n.topo.PathPorts(f.Path) {
+				if fp == pt {
+					pipe.AddGuaranteed(f.ID, f.gspec.ClockRate)
+					break
+				}
+			}
+		}
+	}
+	pt.SetScheduler(pipe)
+	n.pipes[idx] = pipe
+	n.profs[idx] = prof
+	if c := n.admit[idx]; c != nil {
+		c.SetQuota(1 - prof.Quota())
+		c.SetClassTargets(prof.ClassTargets)
+	}
+	return nil
+}
+
+// flowsByID returns the live flows sorted by id (deterministic iteration
+// over the flows map).
+func (n *Network) flowsByID() []*Flow {
+	ids := make([]uint32, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Flow, len(ids))
+	for i, id := range ids {
+		out[i] = n.flows[id]
+	}
+	return out
 }
 
 // FailLink takes a link down: its queued backlog and all subsequent
@@ -263,8 +415,12 @@ func (n *Network) ConnectDuplex(a, b string) {
 	n.Connect(b, a)
 }
 
-// Unified returns the unified scheduler on a port.
-func (n *Network) Unified(p *topology.Port) *sched.Unified { return n.uni[p] }
+// Unified returns the unified scheduler on a port, or nil when the port's
+// profile built a different pipeline kind.
+func (n *Network) Unified(p *topology.Port) *sched.Unified {
+	u, _ := n.pipe(p).(*sched.Unified)
+	return u
+}
 
 // Run advances the simulation by d seconds.
 func (n *Network) Run(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
@@ -373,17 +529,98 @@ func (n *Network) registerFlow(f *Flow) {
 // Flow returns an admitted flow by id, or nil.
 func (n *Network) Flow(id uint32) *Flow { return n.flows[id] }
 
+// sumOrScale adds k per-hop values; when every value is identical it
+// returns the closed form value*k instead, so homogeneous deployments stay
+// bit-identical to the historical one-global-constant formula (repeated
+// addition and multiplication can differ in the last ulp).
+func sumOrScale(vals func(i int) float64, k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	first := vals(0)
+	sum := first
+	uniform := true
+	for i := 1; i < k; i++ {
+		v := vals(i)
+		if v != first {
+			uniform = false
+		}
+		sum += v
+	}
+	if uniform {
+		return float64(k) * first
+	}
+	return sum
+}
+
 // AdvertisedPredictedBound is the a priori bound quoted to a predicted flow
 // of the given class over a path: the sum of the per-switch class targets
 // Dᵢ along the path (Section 7: "the network should not attempt to
 // characterize or control the service to great precision, and thus should
-// just use the sum of the Dᵢ's as the advertised bound").
+// just use the sum of the Dᵢ's as the advertised bound"). With per-port
+// profiles each hop contributes its own target; a hop with fewer classes
+// contributes its lowest-priority target (the same clamp its classifier
+// applies to the packet header).
 func (n *Network) AdvertisedPredictedBound(path []string, class int) float64 {
-	return float64(len(path)-1) * n.cfg.ClassTargets[class]
+	return n.advertisedBound(n.topo.PathPorts(path), class)
+}
+
+func (n *Network) advertisedBound(ports []*topology.Port, class int) float64 {
+	return sumOrScale(func(i int) float64 {
+		return n.profs[ports[i].Index()].TargetFor(class)
+	}, len(ports))
+}
+
+// pathClasses returns the number of explicitly addressable predicted
+// classes over a path: the maximum class count among its hops (hops with
+// fewer classes clamp, they do not forbid).
+func (n *Network) pathClasses(ports []*topology.Port) int {
+	k := 0
+	for _, pt := range ports {
+		if c := n.profs[pt.Index()].Classes(); c > k {
+			k = c
+		}
+	}
+	return k
+}
+
+// pgBound is the Parekh–Gallager bound for a guaranteed flow over the given
+// ports, with each hop after the first contributing its own maximum packet
+// size to the packetization term: D = b/r + (Σ_{k≥2} Lmaxₖ)/r.
+func (n *Network) pgBound(spec GuaranteedSpec, ports []*topology.Port) float64 {
+	sumL := sumOrScale(func(i int) float64 {
+		return float64(n.profs[ports[i+1].Index()].MaxPacketBits)
+	}, len(ports)-1)
+	return spec.BucketBits/spec.ClockRate + sumL/spec.ClockRate
+}
+
+// reserveLimit is the clock-rate capacity of a port: its bandwidth minus
+// the datagram quota of its profile.
+func (n *Network) reserveLimit(pt *topology.Port) float64 {
+	return (1 - n.profs[pt.Index()].Quota()) * pt.Bandwidth()
+}
+
+// checkReserve verifies that adding rate to a port's reservations respects
+// its datagram quota and leaves flow 0 alive (with a zero quota the whole
+// link is reservable up to, but never including, the full bandwidth).
+func (n *Network) checkReserve(pt *topology.Port, rate float64) error {
+	pipe := n.pipe(pt)
+	if !pipe.SupportsGuaranteed() {
+		return fmt.Errorf("core: link %s runs a %s pipeline and cannot reserve a clock rate",
+			pt.Name(), n.profs[pt.Index()].Kind)
+	}
+	after := pipe.Reserved() + rate
+	if after > n.reserveLimit(pt) || after >= pt.Bandwidth() {
+		return fmt.Errorf("core: link %s cannot reserve %v bits/s (reserved %v, quota %v)",
+			pt.Name(), rate, pipe.Reserved(), n.reserveLimit(pt))
+	}
+	return nil
 }
 
 // RequestGuaranteed asks for guaranteed service along path with the given
-// spec. On success the clock rate is reserved at every hop.
+// spec. On success the clock rate is reserved at every hop. Every hop's
+// pipeline must support per-flow reservations (an incrementally deployed
+// network refuses guaranteed service across un-upgraded FIFO hops).
 func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpec) (*Flow, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -400,14 +637,9 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 	// committed at earlier hops, so a refused request charges nothing.
 	token := n.nextLedgerToken()
 	for i, pt := range ports {
-		u := n.uni[pt]
-		if u == nil {
-			return nil, fmt.Errorf("core: port %s does not run the unified scheduler", pt.Name())
-		}
-		if u.Reserved()+spec.ClockRate > (1-n.cfg.DatagramQuota)*pt.Bandwidth() {
+		if err := n.checkReserve(pt, spec.ClockRate); err != nil {
 			n.rollbackLedger(ports[:i], token)
-			return nil, fmt.Errorf("core: link %s cannot reserve %v bits/s (reserved %v, quota %v)",
-				pt.Name(), spec.ClockRate, u.Reserved(), (1-n.cfg.DatagramQuota)*pt.Bandwidth())
+			return nil, err
 		}
 		if n.cfg.AdmissionControl {
 			if err := n.admitGuaranteed(pt, spec.ClockRate, token); err != nil {
@@ -417,14 +649,14 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 		}
 	}
 	for _, pt := range ports {
-		n.uni[pt].AddGuaranteed(id, spec.ClockRate)
+		n.pipe(pt).AddGuaranteed(id, spec.ClockRate)
 	}
 	f := &Flow{
 		ID:           id,
 		Path:         append([]string(nil), path...),
 		Class:        packet.Guaranteed,
 		net:          n,
-		bound:        PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits)),
+		bound:        n.pgBound(spec, ports),
 		declaredRate: spec.ClockRate,
 		gspec:        spec,
 	}
@@ -446,10 +678,15 @@ func (n *Network) RequestPredicted(id uint32, path []string, spec PredictedSpec)
 	if _, dup := n.flows[id]; dup {
 		return nil, fmt.Errorf("core: flow %d already exists", id)
 	}
+	ports := n.topo.PathPorts(path)
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("core: predicted flow needs at least one link")
+	}
 	class := n.classFor(path, spec.Delay)
 	if class < 0 {
+		worst := n.pathClasses(ports) - 1
 		return nil, fmt.Errorf("core: no predicted class can meet delay target %v over %d hops (largest advertised %v)",
-			spec.Delay, len(path)-1, n.AdvertisedPredictedBound(path, n.cfg.PredictedClasses-1))
+			spec.Delay, len(path)-1, n.advertisedBound(ports, worst))
 	}
 	return n.RequestPredictedClass(id, path, uint8(class), spec)
 }
@@ -464,12 +701,12 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 	if _, dup := n.flows[id]; dup {
 		return nil, fmt.Errorf("core: flow %d already exists", id)
 	}
-	if int(class) >= n.cfg.PredictedClasses {
-		return nil, fmt.Errorf("core: class %d out of range (%d classes)", class, n.cfg.PredictedClasses)
-	}
 	ports := n.topo.PathPorts(path)
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: predicted flow needs at least one link")
+	}
+	if k := n.pathClasses(ports); int(class) >= k {
+		return nil, fmt.Errorf("core: class %d out of range (%d classes on this path)", class, k)
 	}
 	token := n.nextLedgerToken()
 	if n.cfg.AdmissionControl {
@@ -488,7 +725,7 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 		Priority:     class,
 		net:          n,
 		policer:      tokenbucket.New(spec.TokenRate, spec.BucketBits),
-		bound:        n.AdvertisedPredictedBound(path, int(class)),
+		bound:        n.advertisedBound(ports, int(class)),
 		declaredRate: spec.TokenRate,
 		pspec:        spec,
 	}
@@ -502,8 +739,9 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 // classFor returns the lowest-priority (cheapest) class whose advertised
 // bound still meets the delay target, or -1.
 func (n *Network) classFor(path []string, target float64) int {
-	for class := n.cfg.PredictedClasses - 1; class >= 0; class-- {
-		if n.AdvertisedPredictedBound(path, class) <= target {
+	ports := n.topo.PathPorts(path)
+	for class := n.pathClasses(ports) - 1; class >= 0; class-- {
+		if n.advertisedBound(ports, class) <= target {
 			return class
 		}
 	}
@@ -540,7 +778,7 @@ func (n *Network) Release(id uint32) {
 	ports := n.topo.PathPorts(f.Path)
 	if f.Class == packet.Guaranteed {
 		for _, pt := range ports {
-			n.uni[pt].RemoveGuaranteed(id)
+			n.pipe(pt).RemoveGuaranteed(id)
 		}
 	}
 	if f.Class != packet.Datagram {
@@ -570,7 +808,7 @@ func (n *Network) rollbackLedger(ports []*topology.Port, token uint64) {
 func (n *Network) releaseLedger(ports []*topology.Port, tokens []uint64) {
 	now := n.eng.Now()
 	for _, pt := range ports {
-		if c, ok := n.admit[pt]; ok {
+		if c := n.admit[pt.Index()]; c != nil {
 			for _, tok := range tokens {
 				c.ReleaseOwner(now, tok)
 			}
@@ -588,7 +826,7 @@ func (n *Network) reledger(ports []*topology.Port, f *Flow, newRate float64, tok
 	n.releaseLedger(ports, f.ledgerTokens)
 	now := n.eng.Now()
 	for _, pt := range ports {
-		if c, ok := n.admit[pt]; ok {
+		if c := n.admit[pt.Index()]; c != nil {
 			c.Declare(now, newRate, token)
 		}
 	}
@@ -617,11 +855,9 @@ func (n *Network) RenegotiateGuaranteed(id uint32, spec GuaranteedSpec) error {
 	token := n.nextLedgerToken()
 	if delta > 0 {
 		for i, pt := range ports {
-			u := n.uni[pt]
-			if u.Reserved()+delta > (1-n.cfg.DatagramQuota)*pt.Bandwidth() {
+			if err := n.checkReserve(pt, delta); err != nil {
 				n.rollbackLedger(ports[:i], token)
-				return fmt.Errorf("core: link %s cannot grow reservation by %v bits/s (reserved %v, quota %v)",
-					pt.Name(), delta, u.Reserved(), (1-n.cfg.DatagramQuota)*pt.Bandwidth())
+				return err
 			}
 			if n.cfg.AdmissionControl {
 				if err := n.admitGuaranteed(pt, delta, token); err != nil {
@@ -637,11 +873,11 @@ func (n *Network) RenegotiateGuaranteed(id uint32, spec GuaranteedSpec) error {
 		n.reledger(ports, f, spec.ClockRate, token)
 	}
 	for _, pt := range ports {
-		n.uni[pt].SetGuaranteedRate(id, spec.ClockRate)
+		n.pipe(pt).SetGuaranteedRate(id, spec.ClockRate)
 	}
 	f.gspec = spec
 	f.declaredRate = spec.ClockRate
-	f.bound = PGBound(spec.BucketBits, spec.ClockRate, len(ports), float64(n.cfg.MaxPacketBits))
+	f.bound = n.pgBound(spec, ports)
 	return nil
 }
 

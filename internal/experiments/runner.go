@@ -98,6 +98,14 @@ func newScheduler(d Discipline, flowsHere []FlowPath) sched.Scheduler {
 // runPlain simulates flows over the given node/link layout under discipline
 // d and returns per-flow queueing delay recorders.
 func runPlain(d Discipline, nodes []string, links [][2]string, flows []FlowPath, cfg RunConfig) *plainRun {
+	return runMixed(func(string, string) Discipline { return d }, nodes, links, flows, cfg)
+}
+
+// runMixed is runPlain with a per-link discipline choice — the heterogeneous
+// deployment runner. A uniform choice goes through exactly the same code
+// path as runPlain, so mixed sweeps whose endpoints are uniform reproduce
+// the uniform tables bit for bit.
+func runMixed(per func(from, to string) Discipline, nodes []string, links [][2]string, flows []FlowPath, cfg RunConfig) *plainRun {
 	cfg.fill()
 	eng := sim.New()
 	topo := topology.NewNetwork(eng)
@@ -105,7 +113,7 @@ func runPlain(d Discipline, nodes []string, links [][2]string, flows []FlowPath,
 		topo.AddNode(n)
 	}
 	for _, lk := range links {
-		topo.AddLink(lk[0], lk[1], newScheduler(d, FlowsOnLink(flows, lk[0], lk[1])), LinkRate, 0)
+		topo.AddLink(lk[0], lk[1], newScheduler(per(lk[0], lk[1]), FlowsOnLink(flows, lk[0], lk[1])), LinkRate, 0)
 	}
 	run := &plainRun{
 		eng:   eng,

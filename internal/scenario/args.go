@@ -149,6 +149,12 @@ func (a *argSet) fraction(name string, posIdx int, def float64) float64 {
 	return a.dimensioned(name, posIdx, dimFraction, def)
 }
 
+// plain returns a unitless numeric argument (EWMA gains and similar bare
+// coefficients).
+func (a *argSet) plain(name string, posIdx int, def float64) float64 {
+	return a.dimensioned(name, posIdx, dimNone, def)
+}
+
 func (a *argSet) count(name string, posIdx int, def int) int {
 	v, ok := a.lookup(name, posIdx)
 	if !ok {

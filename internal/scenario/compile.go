@@ -5,6 +5,7 @@ import (
 
 	"ispn/internal/core"
 	"ispn/internal/packet"
+	"ispn/internal/sched"
 	"ispn/internal/sim"
 	"ispn/internal/source"
 	"ispn/internal/tcp"
@@ -466,6 +467,7 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 	}
 	a := c.argsOf(d)
 	cfg.LinkRate = a.bitrate("rate", 0, 0)
+	cfg.Discipline = a.enum("sched", "", sched.PipelineKinds()...)
 	cfg.PredictedClasses = a.count("classes", -1, 0)
 	cfg.ClassTargets = a.durList("targets", nil)
 	cfg.BufferPackets = a.count("buffer", -1, 0)
@@ -473,15 +475,24 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 	cfg.MaxPacketBits = a.count("maxpkt", -1, 0)
 	cfg.PropDelay = a.duration("propdelay", -1, 0)
 	cfg.AdmissionControl = a.boolean("admission", false)
-	switch a.enum("sharing", "fifoplus", "fifoplus", "fifo", "rr") {
-	case "fifo":
-		cfg.Sharing = core.SharingFIFO
-	case "rr":
-		cfg.Sharing = core.SharingRoundRobin
+	if s, ok := sharingMode(a); ok {
+		cfg.Sharing = s
 	}
-	a.finish("rate", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing")
-	// core.Config treats zero as "use the default", so an explicit zero in
-	// the file would be silently replaced — reject it instead.
+	a.finish("rate", "sched", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing")
+	// An explicit zero quota is expressible (no datagram reservation);
+	// core.Config spells it with the NoDatagramQuota sentinel because its
+	// zero value means "use the default".
+	if pos, ok := a.given("quota", -1); ok {
+		switch {
+		case cfg.DatagramQuota < 0 || cfg.DatagramQuota >= 1:
+			c.failf(pos, "Net quota must be a fraction in [0, 1), got %v", cfg.DatagramQuota)
+		case cfg.DatagramQuota == 0:
+			cfg.DatagramQuota = core.NoDatagramQuota
+		}
+	}
+	// For the remaining knobs core.Config treats zero as "use the
+	// default", so an explicit zero in the file would be silently
+	// replaced — reject it instead.
 	for _, z := range []struct {
 		name   string
 		posIdx int
@@ -490,7 +501,6 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 		{"rate", 0, cfg.LinkRate},
 		{"classes", -1, float64(cfg.PredictedClasses)},
 		{"buffer", -1, float64(cfg.BufferPackets)},
-		{"quota", -1, cfg.DatagramQuota},
 		{"maxpkt", -1, float64(cfg.MaxPacketBits)},
 	} {
 		if pos, ok := a.given(z.name, z.posIdx); ok && z.val == 0 {
@@ -525,14 +535,14 @@ func (c *compiler) addSwitch(name string, pos Pos) {
 	c.net.AddSwitch(name)
 }
 
-func (c *compiler) addLink(from, to string, rate, delay float64, pos Pos) {
+func (c *compiler) addLink(from, to string, rate, delay float64, prof *sched.Profile, pos Pos) {
 	key := [2]string{from, to}
 	if c.links[key] {
 		c.failf(pos, "duplicate link %s -> %s", from, to)
 		return
 	}
 	c.links[key] = true
-	if _, err := c.net.ConnectWith(from, to, rate, delay); err != nil {
+	if _, err := c.net.ConnectWith(from, to, rate, delay, prof); err != nil {
 		c.failf(pos, "%v", err)
 	}
 }
@@ -546,11 +556,17 @@ func (c *compiler) isLinkChain(ch *Chain) bool {
 func (c *compiler) linkChain(ch *Chain) {
 	rate := c.defaultLinkRate()
 	delay := c.net.Config().PropDelay
+	var prof *sched.Profile
 	if len(ch.Attrs) > 0 {
 		a := c.argsOf(&Decl{Kind: "Link", KindPos: ch.Ends[0].Pos, Args: ch.Attrs})
 		rate = a.bitrate("rate", 0, rate)
 		delay = a.duration("delay", 1, delay)
-		a.finish("rate", "delay")
+		patch := c.linkProfile(a)
+		a.finish(linkArgNames...)
+		if patch.any() {
+			p := patch.apply(c.net.DefaultProfile())
+			prof = &p
+		}
 	}
 	for i := 0; i < len(ch.Ends)-1; i++ {
 		from, to := ch.Ends[i], ch.Ends[i+1]
@@ -563,9 +579,9 @@ func (c *compiler) linkChain(ch *Chain) {
 		if !c.ok() {
 			return
 		}
-		c.addLink(from.Text, to.Text, rate, delay, from.Pos)
+		c.addLink(from.Text, to.Text, rate, delay, prof, from.Pos)
 		if ch.Duplex[i] {
-			c.addLink(to.Text, from.Text, rate, delay, from.Pos)
+			c.addLink(to.Text, from.Text, rate, delay, prof, from.Pos)
 		}
 	}
 }

@@ -170,7 +170,7 @@ f :: Predicted(rate 85kbps, bucket 50kbit, class 7, path a -> b)`, "rejected"},
 		{"percentile range", "r :: Run(percentiles [200%])", "must be in"},
 		{"bad sharing", "n :: Net(sharing lifo)", "one of: fifoplus, fifo, rr"},
 		{"targets mismatch", "n :: Net(classes 3, targets [32ms])", "lists 1 delays but classes is 3"},
-		{"explicit zero quota", "n :: Net(quota 0%)", "must be positive (omit the argument"},
+		{"quota out of range", "n :: Net(quota 150%)", "must be a fraction in [0, 1)"},
 		{"explicit zero buffer", "n :: Net(buffer 0)", "must be positive (omit the argument"},
 		{"excess positional", "a, b :: Switch(42)", "at most 0 positional"},
 		{"duplicate named arg", "a, b :: Switch\na -> b\nd :: Datagram(path a -> b)\ns :: CBR(rate 10pps, rate 9pps)\ns -> d", "given twice"},
@@ -193,6 +193,25 @@ w :: TCP(path a -> b, back x -> y)`, "back path must run from b to a"},
 		if !strings.HasPrefix(err.Error(), "test.ispn:") {
 			t.Errorf("%s: error %q lacks file:line:col prefix", tc.name, err.Error())
 		}
+	}
+}
+
+// TestExplicitZeroQuota: quota 0 is expressible (no datagram reservation) —
+// a guaranteed reservation beyond 90% of the link must be admitted.
+func TestExplicitZeroQuota(t *testing.T) {
+	src := `
+n :: Net(quota 0%)
+A, B :: Switch
+A -> B
+g :: Guaranteed(rate 950kbps, path A -> B)
+c :: CBR(rate 10pps)
+c -> g`
+	s, err := compileSrc(t, src, Options{Horizon: 1})
+	if err != nil {
+		t.Fatalf("zero-quota scenario rejected: %v", err)
+	}
+	if got := s.Net.Config().DatagramQuota; got >= 0 {
+		t.Errorf("DatagramQuota = %v, want the NoDatagramQuota sentinel", got)
 	}
 }
 

@@ -23,8 +23,8 @@ func (c *compiler) generate(d *Decl) {
 	delay := a.duration("delay", -1, c.net.Config().PropDelay)
 	sub := func(role string) string { return name.Text + "." + role }
 	duplex := func(x, y string) {
-		c.addLink(x, y, rate, delay, name.Pos)
-		c.addLink(y, x, rate, delay, name.Pos)
+		c.addLink(x, y, rate, delay, nil, name.Pos)
+		c.addLink(y, x, rate, delay, nil, name.Pos)
 	}
 	switch d.Kind {
 	case "Star":
@@ -55,19 +55,19 @@ func (c *compiler) generate(d *Decl) {
 		ca, cb := sub("a"), sub("b")
 		c.addSwitch(ca, name.Pos)
 		c.addSwitch(cb, name.Pos)
-		c.addLink(ca, cb, bottleneck, delay, name.Pos)
-		c.addLink(cb, ca, bottleneck, delay, name.Pos)
+		c.addLink(ca, cb, bottleneck, delay, nil, name.Pos)
+		c.addLink(cb, ca, bottleneck, delay, nil, name.Pos)
 		for i := 1; i <= left; i++ {
 			l := sub(fmt.Sprintf("l%d", i))
 			c.addSwitch(l, name.Pos)
-			c.addLink(l, ca, access, delay, name.Pos)
-			c.addLink(ca, l, access, delay, name.Pos)
+			c.addLink(l, ca, access, delay, nil, name.Pos)
+			c.addLink(ca, l, access, delay, nil, name.Pos)
 		}
 		for i := 1; i <= right; i++ {
 			r := sub(fmt.Sprintf("r%d", i))
 			c.addSwitch(r, name.Pos)
-			c.addLink(r, cb, access, delay, name.Pos)
-			c.addLink(cb, r, access, delay, name.Pos)
+			c.addLink(r, cb, access, delay, nil, name.Pos)
+			c.addLink(cb, r, access, delay, nil, name.Pos)
 		}
 
 	case "ParkingLot":

@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ispn/internal/sched"
+)
+
+// TestLinkProfileDiagnostics asserts that malformed Link(...) scheduling
+// profile arguments are rejected with the exact file:line:col of the
+// offending token — wrong unit dimensions, unknown discipline names, and
+// targets/classes mismatches included.
+func TestLinkProfileDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantPos is the exact "line:col" of the diagnostic; wantText a
+		// substring of its message.
+		wantPos  string
+		wantText string
+	}{
+		{
+			name: "unknown discipline",
+			src: `a, b :: Switch
+a -> b :: Link(sched weird)`,
+			wantPos:  "2:22",
+			wantText: "must be one of: drr, fifo, fifoplus, unified, virtualclock, wfq",
+		},
+		{
+			name: "quota wrong dimension",
+			src: `a, b :: Switch
+a -> b :: Link(quota 10ms)`,
+			wantPos:  "2:22",
+			wantText: `argument "quota" must be a fraction`,
+		},
+		{
+			name: "targets wrong dimension",
+			src: `a, b :: Switch
+a -> b :: Link(targets [32kbit, 320ms])`,
+			wantPos:  "2:25",
+			wantText: `argument "targets" must be a duration`,
+		},
+		{
+			name: "targets classes mismatch",
+			src: `a, b :: Switch
+a -> b :: Link(classes 3, targets [32ms, 320ms])`,
+			wantPos:  "2:35",
+			wantText: "targets lists 2 delays but classes is 3",
+		},
+		{
+			name: "classes without targets",
+			src: `a, b :: Switch
+a -> b :: Link(classes 3)`,
+			wantPos:  "2:24",
+			wantText: "classes needs a matching targets list",
+		},
+		{
+			name: "unknown sharing",
+			src: `a, b :: Switch
+a -> b :: Link(sharing lifo)`,
+			wantPos:  "2:24",
+			wantText: "must be one of: fifoplus, fifo, rr",
+		},
+		{
+			name: "gain out of range",
+			src: `a, b :: Switch
+a -> b :: Link(gain 2)`,
+			wantPos:  "2:21",
+			wantText: "gain must be in (0, 1)",
+		},
+		{
+			name: "gain wrong dimension",
+			src: `a, b :: Switch
+a -> b :: Link(gain 3ms)`,
+			wantPos:  "2:21",
+			wantText: `argument "gain" must be a bare number`,
+		},
+		{
+			name: "quota out of range",
+			src: `a, b :: Switch
+a -> b :: Link(quota 150%)`,
+			wantPos:  "2:22",
+			wantText: "quota must be a fraction in [0, 1)",
+		},
+		{
+			name: "zero target",
+			src: `a, b :: Switch
+a -> b :: Link(targets [0ms, 320ms])`,
+			wantPos:  "2:24",
+			wantText: "targets must be positive delays",
+		},
+		{
+			name: "profile args on event link",
+			src: `a, b :: Switch
+a -> b
+r :: Run(horizon 10s)
+d :: Datagram(path a -> b)
+c :: CBR(rate 10pps)
+c -> d
+at 2s { a -> b :: Link(sched nope) }`,
+			wantPos:  "7:30",
+			wantText: "must be one of: drr, fifo, fifoplus, unified, virtualclock, wfq",
+		},
+	}
+	for _, tc := range cases {
+		_, err := compileSrc(t, tc.src, Options{})
+		if err == nil {
+			t.Errorf("%s: compile succeeded, want error", tc.name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "test.ispn:"+tc.wantPos+":") {
+			t.Errorf("%s: error %q, want position test.ispn:%s:", tc.name, msg, tc.wantPos)
+		}
+		if !strings.Contains(msg, tc.wantText) {
+			t.Errorf("%s: error = %q, want substring %q", tc.name, msg, tc.wantText)
+		}
+	}
+}
+
+// TestLinkProfileCompile builds a heterogeneous path — a WFQ core between a
+// unified/FIFO edge and a FIFO+-only hop — and checks the per-port profiles
+// landed where the file put them.
+func TestLinkProfileCompile(t *testing.T) {
+	src := `
+a, b, c, d :: Switch
+a -> b :: Link(sharing fifo)
+b -> c :: Link(rate 1Mbps, sched wfq, quota 0%)
+c -> d :: Link(sched fifoplus, gain 0.001)
+f :: Datagram(path a -> b -> c -> d)
+s :: CBR(rate 50pps)
+s -> f
+r :: Run(horizon 2s)`
+	s, err := compileSrc(t, src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prof := func(from, to string) sched.Profile {
+		p, err := s.Net.LinkProfile(from, to)
+		if err != nil {
+			t.Fatalf("LinkProfile(%s,%s): %v", from, to, err)
+		}
+		return p
+	}
+	if p := prof("a", "b"); p.Kind != sched.KindUnified || p.Sharing != sched.SharingFIFO {
+		t.Errorf("a->b profile = %+v, want unified/fifo", p)
+	}
+	if p := prof("b", "c"); p.Kind != sched.KindWFQ || p.Quota() != 0 {
+		t.Errorf("b->c profile = %+v, want wfq with zero quota", p)
+	}
+	if p := prof("c", "d"); p.Kind != sched.KindFIFOPlus || p.FIFOPlusGain != 0.001 {
+		t.Errorf("c->d profile = %+v, want fifoplus gain 0.001", p)
+	}
+	rep := s.Run()
+	if rep.Flows[0].Delivered == 0 {
+		t.Error("heterogeneous path delivered nothing")
+	}
+	for _, l := range rep.Links {
+		switch l.Name {
+		case "a->b":
+			if l.Sched != "unified/fifo" {
+				t.Errorf("a->b sched column = %q, want unified/fifo", l.Sched)
+			}
+		case "b->c":
+			if l.Sched != "wfq" {
+				t.Errorf("b->c sched column = %q, want wfq", l.Sched)
+			}
+		}
+	}
+}
+
+// TestLinkProfileSwapEvent upgrades a FIFO-sharing hop to FIFO+ mid-run via
+// an at-block Link event and checks the swap took effect (merged over the
+// current profile, traffic surviving).
+func TestLinkProfileSwapEvent(t *testing.T) {
+	src := `
+a, b :: Switch
+a -> b :: Link(sharing fifo, quota 5%)
+f :: Predicted(rate 85kbps, delay 500ms, path a -> b)
+m :: Markov(peak 170pps, avg 85pps)
+m -> f
+at 1s { a -> b :: Link(sharing fifoplus) }
+r :: Run(horizon 3s)`
+	s, err := compileSrc(t, src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep := s.Run()
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("profile swap warned: %v", rep.Warnings)
+	}
+	p, err := s.Net.LinkProfile("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sharing != sched.SharingFIFOPlus {
+		t.Errorf("post-swap sharing = %v, want fifoplus", p.Sharing)
+	}
+	// renew-style merge: the 5% quota set at link creation must survive
+	// the sharing-only swap.
+	if p.DatagramQuota != 0.05 {
+		t.Errorf("post-swap quota = %v, want the original 0.05", p.DatagramQuota)
+	}
+	if rep.Flows[0].Delivered == 0 {
+		t.Error("no traffic after the profile swap")
+	}
+}
+
+// TestGuaranteedRefusedAcrossFIFOHop: an incrementally deployed network
+// refuses guaranteed service across hops that cannot reserve clock rates.
+func TestGuaranteedRefusedAcrossFIFOHop(t *testing.T) {
+	src := `
+a, b, c :: Switch
+a -> b
+b -> c :: Link(sched fifo)
+g :: Guaranteed(rate 100kbps, path a -> b -> c)
+s :: CBR(rate 10pps)
+s -> g`
+	_, err := compileSrc(t, src, Options{})
+	if err == nil || !strings.Contains(err.Error(), "cannot reserve a clock rate") {
+		t.Fatalf("guaranteed across a FIFO hop: err = %v, want reservation refusal", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ispn/internal/sched"
 	"ispn/internal/stats"
 )
 
@@ -94,7 +95,11 @@ type TCPReport struct {
 
 // LinkReport summarizes one link that carried traffic.
 type LinkReport struct {
-	Name        string
+	Name string
+	// Sched names the link's scheduling pipeline at the end of the run
+	// (kind, plus the sharing mode when a unified pipeline deviates from
+	// FIFO+), e.g. "unified", "unified/fifo", "wfq".
+	Sched       string
 	Utilization float64 // lifetime fraction of capacity
 	Drops       int64   // buffer drops
 }
@@ -151,6 +156,7 @@ func (s *Sim) buildReport() *Report {
 			}
 			r.Links = append(r.Links, LinkReport{
 				Name:        pt.Name(),
+				Sched:       schedName(s.Net.ProfileAt(pt)),
 				Utilization: pt.TotalUtilization(s.Horizon),
 				Drops:       ctr.Dropped,
 			})
@@ -203,6 +209,16 @@ func (s *Sim) buildReport() *Report {
 	}
 	r.Warnings = append(r.Warnings, s.warnings...)
 	return r
+}
+
+// schedName renders a port profile for the link table: the pipeline kind,
+// with the sharing mode appended when a unified pipeline deviates from the
+// FIFO+ default.
+func schedName(p sched.Profile) string {
+	if p.Kind == sched.KindUnified && p.Sharing != sched.SharingFIFOPlus {
+		return p.Kind + "/" + p.Sharing.String()
+	}
+	return p.Kind
 }
 
 func serviceName(f *SimFlow) string {
@@ -300,9 +316,9 @@ func (r *Report) Format() string {
 	}
 
 	if len(r.Links) > 0 {
-		b.WriteString("\nlink                      util   drops\n")
+		b.WriteString("\nlink                      sched           util   drops\n")
 		for _, l := range r.Links {
-			fmt.Fprintf(&b, "%-24s %4.0f%% %7d\n", l.Name, l.Utilization*100, l.Drops)
+			fmt.Fprintf(&b, "%-24s %-14s %4.0f%% %7d\n", l.Name, l.Sched, l.Utilization*100, l.Drops)
 		}
 	}
 

@@ -106,22 +106,26 @@ func (c *compiler) eventBlock(b *EventBlock) {
 }
 
 // linkEvent compiles a switch->switch chain inside an at block: it modifies
-// existing links (rate and/or delay) rather than creating new ones — the
-// topology itself is static.
+// existing links (rate, delay, and/or the scheduling profile) rather than
+// creating new ones — the topology itself is static. Profile arguments
+// (sched/sharing/targets/quota/gain) become a live pipeline swap, merged
+// over the link's *current* profile at event time, so an event names only
+// what changes — the incremental-deployment upgrade of a single hop.
 func (c *compiler) linkEvent(ch *Chain, at float64) {
 	if len(ch.Attrs) == 0 {
-		c.failf(ch.Ends[0].Pos, "a link chain in an at block must carry :: Link(rate ..., delay ...) — topology cannot grow mid-run")
+		c.failf(ch.Ends[0].Pos, "a link chain in an at block must carry :: Link(rate ..., delay ..., sched ...) — topology cannot grow mid-run")
 		return
 	}
 	a := c.argsOf(&Decl{Kind: "Link", KindPos: ch.Ends[0].Pos, Args: ch.Attrs})
 	rate := a.bitrate("rate", 0, 0)
 	delay := a.duration("delay", 1, 0)
-	a.finish("rate", "delay")
+	patch := c.linkProfile(a)
+	a.finish(linkArgNames...)
 	if !c.ok() {
 		return
 	}
-	if rate == 0 && delay == 0 {
-		c.failf(ch.Ends[0].Pos, "link event changes nothing (give rate and/or delay)")
+	if rate == 0 && delay == 0 && !patch.any() {
+		c.failf(ch.Ends[0].Pos, "link event changes nothing (give rate, delay, and/or profile arguments)")
 		return
 	}
 	pairs := c.chainPairs(ch.Ends, ch.Duplex, "in a link event")
@@ -130,8 +134,20 @@ func (c *compiler) linkEvent(ch *Chain, at float64) {
 	}
 	c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
 		for _, pr := range pairs {
-			if err := s.Net.SetLink(pr[0], pr[1], rate, delay); err != nil {
-				s.warnf("at %vs: %v", at, err)
+			if rate != 0 || delay != 0 {
+				if err := s.Net.SetLink(pr[0], pr[1], rate, delay); err != nil {
+					s.warnf("at %vs: %v", at, err)
+					continue
+				}
+			}
+			if patch.any() {
+				base, err := s.Net.LinkProfile(pr[0], pr[1])
+				if err == nil {
+					err = s.Net.SetLinkProfile(pr[0], pr[1], patch.apply(base))
+				}
+				if err != nil {
+					s.warnf("at %vs: %v", at, err)
+				}
 			}
 		}
 	}})

@@ -46,10 +46,18 @@ type UnifiedConfig struct {
 type Unified struct {
 	*WFQ
 	cfg      UnifiedConfig
+	prof     Profile // set when built through the pipeline registry
 	prio     *Priority
 	levels   []Scheduler
 	reserved float64 // Σ guaranteed clock rates
 }
+
+// Profile returns the profile the pipeline registry built this scheduler
+// from (the zero Profile when constructed directly via NewUnified).
+func (u *Unified) Profile() Profile { return u.prof }
+
+// SupportsGuaranteed reports that WFQ isolation is available.
+func (u *Unified) SupportsGuaranteed() bool { return true }
 
 // NewUnified builds a unified scheduler for one output port.
 func NewUnified(cfg UnifiedConfig) *Unified {

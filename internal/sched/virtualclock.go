@@ -15,17 +15,19 @@ import (
 // VC = max(now, VC) + size/r, packets are stamped with VC, and the smallest
 // stamp is served first.
 type VirtualClock struct {
-	flows []*vcFlow
-	byID  map[uint32]*vcFlow
-	n     int
+	flows    []*vcFlow
+	byID     map[uint32]*vcFlow
+	fallback *vcFlow // flow for unregistered ids, optional
+	n        int
 }
 
 type vcFlow struct {
-	id    uint32
-	rate  float64
-	clock float64
-	tags  queue.FloatRing
-	q     queue.Ring
+	id      uint32
+	rate    float64
+	clock   float64
+	tags    queue.FloatRing
+	q       queue.Ring
+	closing bool // unregister once the backlog drains (RemoveFlow mid-run)
 }
 
 // NewVirtualClock returns an empty VirtualClock scheduler.
@@ -46,12 +48,87 @@ func (v *VirtualClock) AddFlow(id uint32, rate float64) {
 	v.byID[id] = f
 }
 
+// SetFallback directs packets of unregistered flow ids to the flow
+// registered under fallbackID (the per-port pipeline's pseudo flow 0).
+func (v *VirtualClock) SetFallback(fallbackID uint32) {
+	f, ok := v.byID[fallbackID]
+	if !ok {
+		panic("sched: VirtualClock fallback flow not registered")
+	}
+	v.fallback = f
+}
+
+// SetRate changes a flow's clock rate; packets already stamped keep their
+// tags (the per-flow clock just advances at the new rate from now on).
+func (v *VirtualClock) SetRate(id uint32, rate float64) {
+	if rate <= 0 {
+		panic("sched: VirtualClock flow rate must be positive")
+	}
+	f, ok := v.byID[id]
+	if !ok {
+		panic("sched: VirtualClock SetRate on unknown flow")
+	}
+	f.rate = rate
+}
+
+// Rate returns the clock rate of flow id (0 if unknown).
+func (v *VirtualClock) Rate(id uint32) float64 {
+	if f, ok := v.byID[id]; ok {
+		return f.rate
+	}
+	return 0
+}
+
+// RemoveFlow unregisters a flow. An empty flow is dropped immediately; a
+// backlogged flow keeps draining at its clock rate and unregisters itself
+// after its last dequeue (mirroring WFQ's mid-run departure semantics).
+func (v *VirtualClock) RemoveFlow(id uint32) {
+	f, ok := v.byID[id]
+	if !ok {
+		return
+	}
+	if f.tags.Len() > 0 {
+		f.closing = true
+		return
+	}
+	v.unregister(f)
+}
+
+func (v *VirtualClock) unregister(f *vcFlow) {
+	delete(v.byID, f.id)
+	for i, g := range v.flows {
+		if g == f {
+			v.flows = append(v.flows[:i], v.flows[i+1:]...)
+			break
+		}
+	}
+	if v.fallback == f {
+		v.fallback = nil
+	}
+}
+
 // Enqueue implements Scheduler.
 func (v *VirtualClock) Enqueue(p *packet.Packet, now float64) {
 	f, ok := v.byID[p.FlowID]
 	if !ok {
-		panic(fmt.Sprintf("sched: VirtualClock packet for unknown flow %d", p.FlowID))
+		if v.fallback == nil {
+			panic(fmt.Sprintf("sched: VirtualClock packet for unknown flow %d", p.FlowID))
+		}
+		f = v.fallback
 	}
+	v.enqueueOn(f, p, now)
+}
+
+// EnqueueFallback enqueues p directly on the fallback flow, skipping the
+// per-flow map lookup.
+func (v *VirtualClock) EnqueueFallback(p *packet.Packet, now float64) {
+	if v.fallback == nil {
+		panic("sched: VirtualClock EnqueueFallback without a fallback flow")
+	}
+	v.enqueueOn(v.fallback, p, now)
+}
+
+func (v *VirtualClock) enqueueOn(f *vcFlow, p *packet.Packet, now float64) {
 	f.clock = math.Max(now, f.clock) + float64(p.Size)/f.rate
 	f.tags.Push(f.clock)
 	f.q.Push(p)
@@ -81,7 +158,11 @@ func (v *VirtualClock) Dequeue(now float64) *packet.Packet {
 	f := v.pick()
 	f.tags.Pop()
 	v.n--
-	return f.q.Pop()
+	p := f.q.Pop()
+	if f.tags.Len() == 0 && f.closing {
+		v.unregister(f)
+	}
+	return p
 }
 
 // Peek implements Scheduler.

@@ -30,6 +30,7 @@ type Network struct {
 	pool  *packet.Pool
 	nodes map[string]*Node
 	order []*Node // deterministic iteration
+	ports []*Port // every port, in creation order (= Port.Index order)
 }
 
 // NewNetwork returns an empty network on the given engine.
@@ -69,6 +70,14 @@ func (n *Network) Node(name string) *Node { return n.nodes[name] }
 // Nodes returns all nodes in creation order.
 func (n *Network) Nodes() []*Node { return n.order }
 
+// Ports returns every output port in creation order; a port's position is
+// its Index, so dense per-port state can live in slices instead of
+// pointer-keyed maps.
+func (n *Network) Ports() []*Port { return n.ports }
+
+// NumPorts returns the number of ports created so far.
+func (n *Network) NumPorts() int { return len(n.ports) }
+
 // AddLink creates a directed link from -> to with the given scheduler,
 // bandwidth (bits/s) and propagation delay (seconds), and returns its output
 // port at the sending node.
@@ -89,6 +98,7 @@ func (n *Network) AddLink(from, to string, s sched.Scheduler, bandwidth, propDel
 	}
 	p := &Port{
 		name:      from + "->" + to,
+		index:     len(n.ports),
 		node:      src,
 		dst:       dst,
 		sched:     s,
@@ -97,6 +107,7 @@ func (n *Network) AddLink(from, to string, s sched.Scheduler, bandwidth, propDel
 		limit:     DefaultBufferPackets,
 		util:      stats.NewRateMeter(1.0, 60),
 	}
+	n.ports = append(n.ports, p)
 	// Prebound event callbacks: the transmit-complete event is the hottest
 	// event in any run (one per packet-hop), so it is scheduled through
 	// the engine's closure-free ScheduleCall path with these two handlers
@@ -279,6 +290,7 @@ func (nd *Node) receive(p *packet.Packet) {
 // and a transmitter.
 type Port struct {
 	name       string
+	index      int
 	node       *Node
 	dst        *Node
 	sched      sched.Scheduler
@@ -317,8 +329,54 @@ type Port struct {
 // Name returns "from->to".
 func (pt *Port) Name() string { return pt.name }
 
+// Index is the port's dense id: its position in network creation order.
+// Per-port state (schedulers, admission controllers, profiles) indexes
+// slices with it — no pointer-keyed maps, so no map iteration order can
+// leak into results.
+func (pt *Port) Index() int { return pt.index }
+
 // Scheduler returns the port's scheduler.
 func (pt *Port) Scheduler() sched.Scheduler { return pt.sched }
+
+// SetScheduler replaces the port's scheduler mid-run (a live profile swap),
+// migrating the queued backlog into the new scheduler in the old one's
+// service order. A non-work-conserving scheduler holding ineligible packets
+// is drained by stepping its clock to each next-eligible time — the swap
+// re-times service anyway, so releasing held packets early is the least
+// surprising outcome. Anything it still refuses to surface is written off
+// as buffer drops (the queue-length accounting is corrected, the packets
+// themselves are unreachable through the Scheduler interface). The caller
+// is responsible for re-registering any per-flow state (reservations) on
+// the new scheduler before the swap.
+func (pt *Port) SetScheduler(s sched.Scheduler) {
+	now := pt.node.net.eng.Now()
+	for pt.sched.Len() > 0 {
+		p := pt.sched.Dequeue(now)
+		if p == nil {
+			nwc, ok := pt.sched.(sched.NonWorkConserving)
+			if !ok {
+				break // Len/Dequeue disagree; give up on the remainder
+			}
+			t := nwc.NextEligible(now)
+			if math.IsInf(t, 1) {
+				break
+			}
+			if p = pt.sched.Dequeue(t); p == nil {
+				break
+			}
+		}
+		s.Enqueue(p, now)
+	}
+	if stranded := pt.sched.Len(); stranded > 0 {
+		// Unreachable backlog: correct the port's occupancy so buffer
+		// admission is not permanently skewed, and count the loss. The
+		// per-class occupancy of packets a scheduler hides cannot be
+		// attributed.
+		pt.qlen -= stranded
+		pt.counter.Dropped += int64(stranded)
+	}
+	pt.sched = s
+}
 
 // Bandwidth returns the link rate in bits/second.
 func (pt *Port) Bandwidth() float64 { return pt.bandwidth }

@@ -43,6 +43,7 @@ import (
 	"ispn/internal/packet"
 	"ispn/internal/playback"
 	"ispn/internal/scenario"
+	"ispn/internal/sched"
 	"ispn/internal/sim"
 	"ispn/internal/source"
 	"ispn/internal/stats"
@@ -64,6 +65,10 @@ type (
 	PredictedSpec = core.PredictedSpec
 	// SharingMode selects the intra-class sharing discipline.
 	SharingMode = core.SharingMode
+	// Profile is a per-port scheduling profile: discipline kind, sharing
+	// mode, class targets, datagram quota and FIFO+ gain. Pass one to
+	// Network.ConnectWith to deploy heterogeneous pipelines link by link.
+	Profile = sched.Profile
 	// Packet is the simulated packet.
 	Packet = packet.Packet
 	// Engine is the discrete-event engine driving a network.
@@ -80,6 +85,25 @@ const (
 	SharingFIFO     = core.SharingFIFO
 	SharingRR       = core.SharingRoundRobin
 )
+
+// Per-port pipeline kinds for Profile.Kind (see sched.PipelineKinds for the
+// live registry, which RegisterPipeline can extend).
+const (
+	KindUnified      = sched.KindUnified
+	KindWFQ          = sched.KindWFQ
+	KindFIFO         = sched.KindFIFO
+	KindFIFOPlus     = sched.KindFIFOPlus
+	KindVirtualClock = sched.KindVirtualClock
+	KindDRR          = sched.KindDRR
+)
+
+// NoDatagramQuota is the Config/Profile DatagramQuota sentinel meaning
+// "reserve nothing for datagram traffic" (the zero value means "use the
+// paper's default 10%").
+const NoDatagramQuota = core.NoDatagramQuota
+
+// PipelineKinds returns the registered per-port pipeline kind names.
+func PipelineKinds() []string { return sched.PipelineKinds() }
 
 // Service classes.
 const (
