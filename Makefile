@@ -43,7 +43,7 @@ bench:
 # The bench run lands in a temp file first (not a pipe) so a failing
 # benchmark fails the target instead of vanishing behind benchjson's status.
 bench-json:
-	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork|MixedDeployment' \
+	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork|MixedDeployment|Failover' \
 		-benchtime 20x -benchmem . > BENCH.out \
 		|| { cat BENCH.out; rm -f BENCH.out; exit 1; }
 	@$(GO) run ./cmd/benchjson -sha $(SHA) -out BENCH_$(SHA).json \

@@ -162,6 +162,22 @@ func BenchmarkMixedDeployment(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover regenerates the failover study: a mid-run link failure
+// on the Table-2 chain, no-reroute baseline vs the failure-aware routing
+// subsystem (path recompute, admission on the added hops, reservation
+// migration) end to end.
+func BenchmarkFailover(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Failover(experiments.RunConfig{Duration: 30, Seed: int64(1992 + i)})
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Flows[0].Delivered), "baseline-circuit-pkts")
+			b.ReportMetric(float64(rows[1].Flows[0].Delivered), "reroute-circuit-pkts")
+			b.ReportMetric(float64(rows[1].Reroutes), "reroutes")
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed on the Table-3
 // configuration: simulated packet-hops per wall-clock second dominate how
 // long every other experiment takes.

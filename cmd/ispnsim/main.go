@@ -45,6 +45,7 @@ experiments:
   dist                extension: full delay distributions (ASCII histogram)
   churn               extension: dynamic call churn through admission control
   mixed               extension: partial FIFO+ rollout over the Table-2 chain
+  failover            extension: link failure with vs without failure-aware reroute
   all                 everything above
 
 scenarios:
@@ -221,6 +222,11 @@ func main() {
 				return experiments.FormatMixed(experiments.MixedDeployment(cfg))
 			})
 		},
+		"failover": func() {
+			run("failover", func() string {
+				return experiments.FormatFailover(experiments.Failover(cfg))
+			})
+		},
 		"dist": func() {
 			run("dist", func() string {
 				var b string
@@ -235,7 +241,7 @@ func main() {
 	}
 	order := []string{"figure1", "table1", "table2", "table3",
 		"ablation-isolation", "ablation-hops", "admission", "playback", "discard",
-		"compare", "sweep", "dist", "churn", "mixed"}
+		"compare", "sweep", "dist", "churn", "mixed", "failover"}
 
 	name := flag.Arg(0)
 	if name == "all" {

@@ -153,6 +153,14 @@ type Network struct {
 	// renegotiation tags its warmup-ledger entries with one token, so
 	// releases touch exactly the entries that operation created.
 	ledgerSeq uint64
+
+	// Failure-aware rerouting (see reroute.go). routingSet distinguishes
+	// "never configured" from an explicit zero config; the counters total
+	// successful reroutes and refusals across all flows.
+	routing         RoutingConfig
+	routingSet      bool
+	reroutes        int64
+	rerouteRefusals int64
 }
 
 // New creates an empty ISPN.
@@ -387,18 +395,28 @@ func (n *Network) flowsByID() []*Flow {
 	return out
 }
 
-// FailLink takes a link down: its queued backlog and all subsequent
-// arrivals are dropped (counted as buffer drops) until RestoreLink.
+// FailLink takes a link down: its queued backlog (including packets a
+// non-work-conserving scheduler was holding) and all subsequent arrivals
+// are dropped (counted as buffer drops) until RestoreLink. With automatic
+// rerouting enabled (SetRouting Auto), every flow crossing the link is then
+// rerouted around it — or refused and left blackholing, with the refusal
+// counted on the flow.
 func (n *Network) FailLink(from, to string) error {
 	pt, err := n.port(from, to)
 	if err != nil {
 		return err
 	}
 	pt.SetDown(true)
+	if n.routing.Auto {
+		n.rerouteAroundPort(pt)
+	}
 	return nil
 }
 
 // RestoreLink brings a failed link back with its configured rate and delay.
+// Rerouted flows stay on their detours — the subsystem reacts to failures,
+// it does not re-optimize on recovery (call RerouteFlow to move a flow
+// back explicitly).
 func (n *Network) RestoreLink(from, to string) error {
 	pt, err := n.port(from, to)
 	if err != nil {
@@ -453,6 +471,12 @@ type Flow struct {
 	ledgerTokens []uint64
 	pspec        PredictedSpec // predicted flows: current spec (renegotiation)
 	gspec        GuaranteedSpec
+
+	// rerouted counts successful path moves; rerouteRefused counts
+	// reroute attempts the new path's admission turned down (the flow
+	// kept its old path and reservations).
+	rerouted       int64
+	rerouteRefused int64
 }
 
 // Hops returns the number of inter-switch links on the flow's path.
@@ -471,6 +495,13 @@ func (f *Flow) Delivered() int64 { return f.delivered }
 
 // PolicerStats returns edge-enforcement counts (predicted flows only).
 func (f *Flow) PolicerStats() stats.Counter { return f.policerCnt }
+
+// Rerouted returns how many times the flow moved to a new path.
+func (f *Flow) Rerouted() int64 { return f.rerouted }
+
+// RerouteRefused returns how many reroute attempts were refused (no
+// alternate path, or an added hop that could not honor the flow's spec).
+func (f *Flow) RerouteRefused() int64 { return f.rerouteRefused }
 
 // GuaranteedSpec returns the current spec of a guaranteed flow (zero value
 // otherwise); renegotiation merges partial updates into it.

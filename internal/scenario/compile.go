@@ -53,7 +53,7 @@ const (
 )
 
 var kindClass = map[string]elemClass{
-	"Net": classConfig, "Run": classConfig,
+	"Net": classConfig, "Run": classConfig, "Reroute": classConfig,
 	"Switch": classSwitch,
 	"Star":   classGenerator, "Dumbbell": classGenerator,
 	"ParkingLot": classGenerator, "Random": classGenerator,
@@ -95,6 +95,11 @@ type Sim struct {
 	nextID   uint32
 	adm      AdmissionTotals
 	warnings []string
+
+	// routingOn records that the scenario configured rerouting (Net
+	// routing argument or a Reroute element), so the report prints the
+	// routing section even when no reroute ever fired.
+	routingOn bool
 }
 
 // AdmissionTotals counts runtime service requests (scripted events, churn
@@ -213,11 +218,12 @@ type compiler struct {
 	percentiles []float64
 	traceDt     float64
 
-	net      *core.Network
-	decls    map[string]*Decl // element name -> declaring decl
-	switches map[string]bool  // includes generator-produced names
-	links    map[[2]string]bool
-	attached map[string]int // source/filter element name -> use count
+	net        *core.Network
+	netRouting string           // the Net "routing" argument: "", "static" or "auto"
+	decls      map[string]*Decl // element name -> declaring decl
+	switches   map[string]bool  // includes generator-produced names
+	links      map[[2]string]bool
+	attached   map[string]int // source/filter element name -> use count
 	// dynNames marks every event-declared element (known from pass 1);
 	// declAt records each one's block time (filled as blocks compile, in
 	// file order). Together they let chains reject uses of an element
@@ -263,7 +269,7 @@ func (c *compiler) compile() *Sim {
 		}
 		return true
 	}
-	var netDecl, runDecl *Decl
+	var netDecl, runDecl, rerouteDecl *Decl
 	for _, d := range c.file.Decls {
 		cls, known := kindClass[d.Kind]
 		if !known {
@@ -290,6 +296,12 @@ func (c *compiler) compile() *Sim {
 				return nil
 			}
 			runDecl = d
+		case "Reroute":
+			if rerouteDecl != nil {
+				c.failf(d.KindPos, "duplicate Reroute declaration (first at line %d)", rerouteDecl.KindPos.Line)
+				return nil
+			}
+			rerouteDecl = d
 		}
 	}
 	for _, b := range c.file.Events {
@@ -334,6 +346,10 @@ func (c *compiler) compile() *Sim {
 	}
 	if c.traceDt > 0 {
 		c.out.trace = newTraceRec(c.traceDt, c.horizon)
+	}
+	c.routingSetup(rerouteDecl)
+	if !c.ok() {
+		return nil
 	}
 
 	// Pass 3: topology — switch declarations and generators, in order.
@@ -478,7 +494,8 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 	if s, ok := sharingMode(a); ok {
 		cfg.Sharing = s
 	}
-	a.finish("rate", "sched", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing")
+	c.netRouting = a.enum("routing", "", "static", "auto")
+	a.finish("rate", "sched", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing", "routing")
 	// An explicit zero quota is expressible (no datagram reservation);
 	// core.Config spells it with the NoDatagramQuota sentinel because its
 	// zero value means "use the default".
@@ -515,6 +532,44 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 		cfg.PredictedClasses = len(cfg.ClassTargets)
 	}
 	return cfg
+}
+
+// routingSetup configures failure-aware rerouting from the Net "routing"
+// argument and the optional Reroute element. `Net(routing auto)` alone turns
+// on automatic rerouting with the defaults (shortest path by hops); a
+// Reroute element refines policy/cost/paths and itself implies auto unless
+// it says `auto off` (an explicit Reroute auto argument also overrides the
+// Net shorthand). Scenarios with neither leave routing untouched, so static
+// reports stay bit-identical.
+func (c *compiler) routingSetup(d *Decl) {
+	rc := core.RoutingConfig{Auto: c.netRouting == "auto"}
+	if d == nil && c.netRouting == "" {
+		return
+	}
+	if d != nil {
+		a := c.argsOf(d)
+		rc.Policy = a.enum("policy", "", core.PolicyShortest, core.PolicySpread)
+		rc.Cost = a.enum("cost", "", "hops", "delay", "load")
+		rc.Paths = a.count("paths", -1, 0)
+		auto := true
+		if c.netRouting != "" {
+			auto = c.netRouting == "auto"
+		}
+		rc.Auto = a.boolean("auto", auto)
+		a.finish("policy", "cost", "paths", "auto")
+		if !c.ok() {
+			return
+		}
+	}
+	if err := c.net.SetRouting(rc); err != nil {
+		pos := Pos{}
+		if d != nil {
+			pos = d.KindPos
+		}
+		c.failf(pos, "%v", err)
+		return
+	}
+	c.out.routingOn = true
 }
 
 // defaultLinkRate is the rate links take when neither the link nor Net names

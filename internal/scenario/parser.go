@@ -170,8 +170,9 @@ func (p *parser) eventBlock(f *File) {
 }
 
 // eventStmt parses one statement inside an event block. The identifiers
-// "remove", "fail", "restore" and "renew" are verbs in this position (and
-// only in this position — top-level elements may still use those names).
+// "remove", "fail", "restore", "renew" and "reroute" are verbs in this
+// position (and only in this position — top-level elements may still use
+// those names).
 func (p *parser) eventStmt(b *EventBlock) {
 	if p.tok.kind != tokIdent {
 		p.fail(p.tok.pos, "expected an event statement, found %s", p.tok.describe())
@@ -204,6 +205,24 @@ func (p *parser) eventStmt(b *EventBlock) {
 		op := &EventOp{Verb: "renew", VerbPos: t.pos, Names: []Name{p.name()}}
 		p.expect(tokLParen, "after the renew target")
 		op.Args = p.args()
+		b.Stmts = append(b.Stmts, EventStmt{Op: op})
+	case "reroute":
+		// Two forms: "reroute f1, f2" moves named flows; "reroute A -> B"
+		// moves every flow crossing the link(s).
+		t := p.advance()
+		op := &EventOp{Verb: "reroute", VerbPos: t.pos, Names: []Name{p.name()}}
+		if p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+			for p.tok.kind == tokArrow || p.tok.kind == tokDuplex {
+				op.Duplex = append(op.Duplex, p.tok.kind == tokDuplex)
+				p.advance()
+				op.Names = append(op.Names, p.name())
+			}
+		} else {
+			for p.tok.kind == tokComma {
+				p.advance()
+				op.Names = append(op.Names, p.name())
+			}
+		}
 		b.Stmts = append(b.Stmts, EventStmt{Op: op})
 	default:
 		first := p.name()

@@ -27,11 +27,23 @@ type Report struct {
 	// (compile-time flows are unconditional). Churns summarizes each Churn
 	// element's arrival process; Trace holds the per-interval curves when
 	// Run(trace <dt>) is set; Warnings are runtime timeline diagnostics
-	// (e.g. a link event refused because of live reservations).
+	// (e.g. a link event refused because of live reservations). Routing
+	// totals reroute activity and is nil unless the scenario configured
+	// rerouting (Net routing argument or a Reroute element), so static
+	// reports stay bit-identical.
 	Admission *AdmissionTotals
+	Routing   *RoutingTotals
 	Churns    []ChurnReport
 	Trace     []TraceRow
 	Warnings  []string
+}
+
+// RoutingTotals counts network-wide reroute outcomes: flows moved to a new
+// path and reroute attempts refused (no alternate path, or an added hop
+// that could not honor the flow's spec).
+type RoutingTotals struct {
+	Reroutes int64
+	Refusals int64
 }
 
 // ChurnReport summarizes one Churn element: its arrival/admission counts and
@@ -76,6 +88,10 @@ type FlowReport struct {
 	// packets refused entry by token-bucket policing.
 	Delivered   int64
 	EdgeDropped int64
+	// Reroutes counts the flow's successful path moves; RerouteRefusals
+	// counts attempts admission turned down (the flow kept its old path).
+	Reroutes        int64
+	RerouteRefusals int64
 	// BoundMS is the a priori delay bound advertised to the flow
 	// (negative for datagram flows, which get no commitment).
 	BoundMS float64
@@ -126,6 +142,8 @@ func (s *Sim) buildReport() *Report {
 			fr.Hops = f.Flow.Hops()
 			fr.Delivered = f.Flow.Delivered()
 			fr.EdgeDropped = f.EdgeDropped()
+			fr.Reroutes = f.Flow.Rerouted()
+			fr.RerouteRefusals = f.Flow.RerouteRefused()
 			fr.BoundMS = f.Flow.Bound() * 1e3
 			fr.MeanMS = m.Mean() * 1e3
 			fr.MaxMS = m.Max() * 1e3
@@ -187,6 +205,10 @@ func (s *Sim) buildReport() *Report {
 	if s.hasTimeline() {
 		adm := s.adm
 		r.Admission = &adm
+	}
+	if s.routingOn {
+		re, ref := s.Net.RerouteTotals()
+		r.Routing = &RoutingTotals{Reroutes: re, Refusals: ref}
 	}
 	if tr := s.trace; tr != nil {
 		for k := 0; k < tr.nfull; k++ {
@@ -305,6 +327,15 @@ func (r *Report) Format() string {
 		a := r.Admission
 		fmt.Fprintf(&b, "\nadmission: %d requested, %d admitted, %d rejected, %d departed\n",
 			a.Requested, a.Admitted, a.Rejected, a.Departed)
+	}
+
+	if r.Routing != nil {
+		fmt.Fprintf(&b, "\nrouting: %d reroute(s), %d refusal(s)\n", r.Routing.Reroutes, r.Routing.Refusals)
+		for _, f := range r.Flows {
+			if f.Reroutes > 0 || f.RerouteRefusals > 0 {
+				fmt.Fprintf(&b, "  %s: %d reroute(s), %d refusal(s)\n", f.Name, f.Reroutes, f.RerouteRefusals)
+			}
+		}
 	}
 
 	if len(r.TCPs) > 0 {

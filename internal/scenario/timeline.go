@@ -224,6 +224,49 @@ func (c *compiler) eventOp(op *EventOp, at float64) {
 				}
 			}
 		}})
+	case "reroute":
+		if !c.out.routingOn {
+			c.failf(op.VerbPos, "reroute needs routing enabled (add Net(routing auto) or a Reroute element)")
+			return
+		}
+		if len(op.Duplex) > 0 {
+			// Link form: reroute every flow crossing the link(s).
+			pairs := c.chainPairs(op.Names, op.Duplex, "in a reroute")
+			if pairs == nil {
+				return
+			}
+			c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
+				for _, pr := range pairs {
+					if _, _, err := s.Net.RerouteAround(pr[0], pr[1]); err != nil {
+						s.warnf("at %vs: %v", at, err)
+					}
+				}
+			}})
+			return
+		}
+		var targets []*SimFlow
+		for _, n := range op.Names {
+			sf, ok := c.flows[n.Text]
+			if !ok {
+				c.what(n, "a flow", "in a reroute")
+				return
+			}
+			if sf.dynamic && sf.At > at {
+				c.failf(n.Pos, "flow %q does not arrive until %vs (this reroute is at %vs)", n.Text, sf.At, at)
+				return
+			}
+			targets = append(targets, sf)
+		}
+		c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
+			for _, sf := range targets {
+				if sf.Flow == nil || sf.removed {
+					continue
+				}
+				if err := s.Net.RerouteFlow(sf.Flow.ID); err != nil {
+					s.warnf("at %vs: %v", at, err)
+				}
+			}
+		}})
 	case "renew":
 		n := op.Names[0]
 		sf, ok := c.flows[n.Text]

@@ -335,6 +335,12 @@ func (pt *Port) Name() string { return pt.name }
 // leak into results.
 func (pt *Port) Index() int { return pt.index }
 
+// From returns the node that owns this output port (the link's sender).
+func (pt *Port) From() *Node { return pt.node }
+
+// To returns the node at the far end of the link.
+func (pt *Port) To() *Node { return pt.dst }
+
 // Scheduler returns the port's scheduler.
 func (pt *Port) Scheduler() sched.Scheduler { return pt.sched }
 
@@ -387,10 +393,16 @@ func (pt *Port) SetBufferLimit(n int) { pt.limit = n }
 // SetBandwidth changes the link rate mid-run. The packet currently being
 // serialized (if any) finishes at the old rate; the next transmission uses
 // the new one. Callers that precomputed fixed delays from the old rate (the
-// per-flow queueing-delay normalization) keep their setup-time value.
+// per-flow queueing-delay normalization) keep their setup-time value. The
+// utilization measurement window restarts: windows accumulated at the old
+// rate divided by the new bandwidth would mis-report Utilization (a rate cut
+// could even read above 100%) for a full measurement span.
 func (pt *Port) SetBandwidth(r float64) {
 	if r <= 0 {
 		panic("topology: bandwidth must be positive")
+	}
+	if r != pt.bandwidth {
+		pt.util.Reset(pt.node.net.eng.Now())
 	}
 	pt.bandwidth = r
 }
@@ -414,7 +426,10 @@ func (pt *Port) Down() bool { return pt.down }
 // backlog (counted as buffer drops) and every subsequent arrival until the
 // link is restored; a packet mid-serialization still reaches the far end
 // (it was already committed to the wire). Restoring resumes normal service
-// with whatever rate/delay the port had.
+// with whatever rate/delay the port had, re-arming transmission if any
+// backlog survived the outage (e.g. a scheduler swap while down migrated
+// packets in): without the kick, survivors would sit stranded until the
+// next fresh enqueue happened to restart the port.
 func (pt *Port) SetDown(down bool) {
 	if pt.down == down {
 		return
@@ -422,16 +437,37 @@ func (pt *Port) SetDown(down bool) {
 	pt.down = down
 	if down {
 		pt.flush()
+		return
+	}
+	if !pt.busy && pt.sched.Len() > 0 {
+		pt.transmitNext()
 	}
 }
 
-// flush drops every queued packet (link failure).
+// flush drops every queued packet (link failure), including packets a
+// non-work-conserving scheduler (Regulator, StopAndGo) is holding for a
+// future eligibility time: the drain steps the scheduler's clock to each
+// next-eligible instant so held packets surface, are counted as failure
+// drops, and return to the pool instead of leaking. A scheduler that still
+// refuses to surface packets (Len/Dequeue/NextEligible disagreeing — a
+// contract violation) keeps them queued: the occupancy mirrors stay
+// consistent with Len(), and the restore re-arm serves the remainder.
 func (pt *Port) flush() {
 	now := pt.node.net.eng.Now()
 	for pt.sched.Len() > 0 {
 		p := pt.sched.Dequeue(now)
 		if p == nil {
-			break // non-work-conserving scheduler holding ineligible packets
+			nwc, ok := pt.sched.(sched.NonWorkConserving)
+			if !ok {
+				break // Len/Dequeue disagree; give up on the remainder
+			}
+			t := nwc.NextEligible(now)
+			if math.IsInf(t, 1) {
+				break
+			}
+			if p = pt.sched.Dequeue(t); p == nil {
+				break
+			}
 		}
 		pt.qlen--
 		if int(p.Class) < len(pt.lenByClass) {
@@ -543,6 +579,13 @@ func (pt *Port) scheduleRetry(now float64) {
 }
 
 func (pt *Port) transmitNext() {
+	if pt.down {
+		// A retry event armed before the failure (or a scheduler swap
+		// while down) must not put packets on a dead wire; restore
+		// re-arms service.
+		pt.busy = false
+		return
+	}
 	eng := pt.node.net.eng
 	now := eng.Now()
 	var p *packet.Packet

@@ -65,6 +65,10 @@ type (
 	PredictedSpec = core.PredictedSpec
 	// SharingMode selects the intra-class sharing discipline.
 	SharingMode = core.SharingMode
+	// RoutingConfig configures failure-aware rerouting (pass to
+	// Network.SetRouting): automatic reroute on FailLink, path policy
+	// (shortest/spread) and link cost (hops/delay/load).
+	RoutingConfig = core.RoutingConfig
 	// Profile is a per-port scheduling profile: discipline kind, sharing
 	// mode, class targets, datagram quota and FIFO+ gain. Pass one to
 	// Network.ConnectWith to deploy heterogeneous pipelines link by link.
@@ -84,6 +88,12 @@ const (
 	SharingFIFOPlus = core.SharingFIFOPlus
 	SharingFIFO     = core.SharingFIFO
 	SharingRR       = core.SharingRoundRobin
+)
+
+// Routing policies for RoutingConfig.Policy.
+const (
+	PolicyShortest = core.PolicyShortest
+	PolicySpread   = core.PolicySpread
 )
 
 // Per-port pipeline kinds for Profile.Kind (see sched.PipelineKinds for the
