@@ -1,7 +1,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check
+.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile
 
 ci: vet build examples test scenario-check bench-smoke
 
@@ -27,7 +27,7 @@ scenario-check:
 # One-iteration benchmark smoke run: catches harness regressions (and the
 # zero-alloc steady state via -benchmem) without the cost of full timing.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'SimulatorThroughput|ShardedThroughput|FacadeSmallNetwork' -benchtime 1x -benchmem .
 
 # Full benchmark suite over every table/figure/ablation.
 bench:
@@ -43,13 +43,21 @@ bench:
 # The bench run lands in a temp file first (not a pipe) so a failing
 # benchmark fails the target instead of vanishing behind benchjson's status.
 bench-json:
-	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|FacadeSmallNetwork|MixedDeployment|Failover' \
+	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|ShardedThroughput|FacadeSmallNetwork|MixedDeployment|Failover' \
 		-benchtime 20x -benchmem . > BENCH.out \
 		|| { cat BENCH.out; rm -f BENCH.out; exit 1; }
 	@$(GO) run ./cmd/benchjson -sha $(SHA) -out BENCH_$(SHA).json \
 		-gate-zero-allocs FacadeSmallNetwork < BENCH.out \
 		|| { rm -f BENCH.out; exit 1; }
 	@rm -f BENCH.out
+
+# CPU + heap profile of a representative sharded scenario run; shard
+# imbalance and barrier overhead show up as coordinator/runtime frames.
+# Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/ispnsim -shards 4 -cpuprofile cpu.pprof -memprofile mem.pprof \
+		run scenarios/*.ispn
+	@echo "wrote cpu.pprof and mem.pprof"
 
 # Fail on unformatted files (CI gate; prints the offenders).
 fmt-check:

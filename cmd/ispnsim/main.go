@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	ispnsim [-duration s] [-seed n] [-parallel n] <experiment>
-//	ispnsim [-seed n] [-horizon s] run <file.ispn>...
+//	ispnsim [-duration s] [-seed n] [-parallel n] [-shards n] <experiment>
+//	ispnsim [-seed n] [-horizon s] [-shards n] [-cpuprofile f] [-memprofile f] run <file.ispn>...
 //	ispnsim [-seed n] check <file.ispn>...
 //	ispnsim scenarios [dir]
 //
@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,8 +61,9 @@ flags:
 }
 
 // scenarioOptions translates explicitly set flags into compile overrides, so
-// a file's own Run(seed ..., horizon ...) knobs win unless the user asked.
-func scenarioOptions(seed int64, horizon float64) scenario.Options {
+// a file's own Run(seed ..., horizon ...) and Net(shards ...) knobs win
+// unless the user asked.
+func scenarioOptions(seed int64, horizon float64, shards int) scenario.Options {
 	opts := scenario.Options{}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -69,6 +72,8 @@ func scenarioOptions(seed int64, horizon float64) scenario.Options {
 			opts.SeedSet = true
 		case "horizon":
 			opts.Horizon = horizon
+		case "shards":
+			opts.Shards = shards
 		}
 	})
 	return opts
@@ -76,7 +81,7 @@ func scenarioOptions(seed int64, horizon float64) scenario.Options {
 
 // scenarioMain handles the run/check/scenarios verbs; it returns false when
 // name is a classic experiment instead.
-func scenarioMain(name string, args []string, seed int64, horizon float64) bool {
+func scenarioMain(name string, args []string, seed int64, horizon float64, shards int) bool {
 	switch name {
 	case "run":
 		if len(args) == 0 {
@@ -84,7 +89,7 @@ func scenarioMain(name string, args []string, seed int64, horizon float64) bool 
 			os.Exit(2)
 		}
 		start := time.Now()
-		results, err := experiments.RunScenarios(args, scenarioOptions(seed, horizon))
+		results, err := experiments.RunScenarios(args, scenarioOptions(seed, horizon, shards))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -98,7 +103,7 @@ func scenarioMain(name string, args []string, seed int64, horizon float64) bool 
 			fmt.Fprintln(os.Stderr, "ispnsim check: need at least one .ispn file")
 			os.Exit(2)
 		}
-		if err := experiments.CheckScenarios(args, scenarioOptions(seed, horizon)); err != nil {
+		if err := experiments.CheckScenarios(args, scenarioOptions(seed, horizon, shards)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -128,11 +133,48 @@ func scenarioMain(name string, args []string, seed int64, horizon float64) bool 
 	return true
 }
 
+// startProfiles begins CPU profiling and arranges a heap snapshot, returning
+// a stop function to run once the simulations are done.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
 func main() {
 	duration := flag.Float64("duration", 600, "simulated seconds per run (paper: 600)")
 	seed := flag.Int64("seed", 1992, "random seed (scenarios: overrides the file's Run seed)")
 	horizon := flag.Float64("horizon", 0, "scenario horizon override in simulated seconds (0 = the file's Run horizon)")
 	parallel := flag.Int("parallel", 0, "worker count for independent sub-simulations (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+	shards := flag.Int("shards", 0, "shard one simulation across this many parallel engines (0 = sequential; scenarios: overrides the file's Net shards; reports are bit-identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when done (pprof format)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -142,14 +184,16 @@ func main() {
 	if *parallel > 0 {
 		experiments.SetParallelism(*parallel)
 	}
-	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon) {
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon, *shards) {
 		return
 	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	cfg := experiments.RunConfig{Duration: *duration, Seed: *seed}
+	cfg := experiments.RunConfig{Duration: *duration, Seed: *seed, Shards: *shards}
 
 	run := func(name string, fn func() string) {
 		start := time.Now()

@@ -161,6 +161,10 @@ type Network struct {
 	routingSet      bool
 	reroutes        int64
 	rerouteRefusals int64
+
+	// coord drives sharded execution (see SetShards); nil means the
+	// classic single-engine run.
+	coord *sim.Coordinator
 }
 
 // New creates an empty ISPN.
@@ -440,8 +444,17 @@ func (n *Network) Unified(p *topology.Port) *sched.Unified {
 	return u
 }
 
-// Run advances the simulation by d seconds.
-func (n *Network) Run(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
+// Run advances the simulation by d seconds — on the single engine, or,
+// after SetShards, through the shard coordinator (whose control clock is
+// the network engine's, so Engine().Now() stays the run's reference time in
+// both modes).
+func (n *Network) Run(d float64) {
+	if n.coord != nil {
+		n.coord.Run(n.eng.Now() + d)
+		return
+	}
+	n.eng.RunUntil(n.eng.Now() + d)
+}
 
 // Flow is an admitted flow: its route is installed, reservations (if
 // guaranteed) are in place, edge policing (if predicted) is armed, and a
@@ -454,6 +467,7 @@ type Flow struct {
 
 	net        *Network
 	ingress    *topology.Node // resolved first switch, per-packet fast path
+	eng        *sim.Engine    // the ingress switch's engine (its shard's)
 	fixedDelay float64
 	policer    *tokenbucket.Bucket
 	policerCnt stats.Counter
@@ -515,11 +529,26 @@ func (f *Flow) PredictedSpec() PredictedSpec { return f.pspec }
 // and its end-to-end queueing delay (adaptive playback clients hook here).
 func (f *Flow) Tap(fn func(p *packet.Packet, queueing float64)) { f.sinkTap = fn }
 
+// IngressEngine returns the engine of the flow's first switch — the engine
+// the flow's sources must run on. Equal to the network engine when
+// unsharded.
+func (f *Flow) IngressEngine() *sim.Engine { return f.eng }
+
+// IngressPool returns the packet free list the flow's sources should draw
+// from (the ingress shard's pool).
+func (f *Flow) IngressPool() *packet.Pool { return f.ingress.Pool() }
+
+// EgressEngine returns the engine of the flow's last switch, whose clock
+// timestamps deliveries at the sink.
+func (f *Flow) EgressEngine() *sim.Engine {
+	return f.net.topo.Node(f.Path[len(f.Path)-1]).Engine()
+}
+
 // Inject polices (predicted service), stamps service fields and injects the
 // packet at the flow's first switch. It reports whether the packet entered
 // the network. Sources use this as their Inject target.
 func (f *Flow) Inject(p *packet.Packet) bool {
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	if f.policer != nil {
 		f.policerCnt.Total++
 		if !f.policer.Take(now, float64(p.Size)) {
@@ -540,11 +569,16 @@ func (f *Flow) Inject(p *packet.Packet) bool {
 func (n *Network) registerFlow(f *Flow) {
 	n.topo.InstallRoute(f.ID, f.Path)
 	f.ingress = n.topo.Node(f.Path[0])
+	f.eng = f.ingress.Engine()
 	f.fixedDelay = n.topo.FixedDelay(f.Path, n.cfg.MaxPacketBits)
 	f.meter = stats.NewRecorder()
 	last := n.topo.Node(f.Path[len(f.Path)-1])
+	// Delivery timestamps come off the last switch's engine: under
+	// sharding the network engine's clock sits at the previous barrier
+	// while the egress shard's clock is the packet's true arrival time.
+	sinkEng := last.Engine()
 	last.SetSink(f.ID, func(p *packet.Packet) {
-		q := n.eng.Now() - p.CreatedAt - f.fixedDelay
+		q := sinkEng.Now() - p.CreatedAt - f.fixedDelay
 		if q < 0 {
 			q = 0
 		}

@@ -273,6 +273,9 @@ func (n *Network) rerouteFlow(f *Flow, ch *chooser) (moved bool, err error) {
 	n.topo.InstallRoute(f.ID, newPath)
 	f.Path = append(f.Path[:0], newPath...)
 	f.ingress = n.topo.Node(newPath[0])
+	// Reroutes keep the flow's endpoints, so under sharding the ingress
+	// engine is unchanged; reassigning keeps the invariant explicit.
+	f.eng = f.ingress.Engine()
 	f.fixedDelay = n.topo.FixedDelay(newPath, n.cfg.MaxPacketBits)
 	switch f.Class {
 	case packet.Guaranteed:

@@ -87,7 +87,7 @@ func ChurnStressGrid(cfg RunConfig, everyMS []float64) []ChurnCell {
 		if err != nil {
 			panic(err) // a malformed template is a bug, not an input error
 		}
-		sim, err := scenario.Compile(f, scenario.Options{})
+		sim, err := scenario.Compile(f, scenario.Options{Shards: cfg.Shards})
 		if err != nil {
 			panic(err)
 		}

@@ -90,7 +90,7 @@ func Failover(cfg RunConfig) []FailoverRow {
 		if err != nil {
 			panic(err) // a malformed template is a bug, not an input error
 		}
-		sim, err := scenario.Compile(f, scenario.Options{})
+		sim, err := scenario.Compile(f, scenario.Options{Shards: cfg.Shards})
 		if err != nil {
 			panic(err)
 		}

@@ -28,7 +28,10 @@ type MixedRow struct {
 }
 
 // MixedDeployment sweeps the FIFO+ rollout fraction over the Figure-1
-// chain, fanning the independent simulations across workers.
+// chain, fanning the independent simulations across workers. The chain's
+// links all have zero propagation delay, so there is no cross-shard
+// boundary with positive lookahead to cut: cfg.Shards cannot subdivide a
+// single cell and parallelism comes from the sweep itself.
 func MixedDeployment(cfg RunConfig) []MixedRow {
 	cfg.fill()
 	flows := Figure1Flows()

@@ -30,6 +30,12 @@ type RunConfig struct {
 	Duration float64
 	// Seed drives every random stream of the run.
 	Seed int64
+	// Shards partitions each scenario-based simulation across that many
+	// parallel engines (0 or 1 = sequential). Reports are bit-identical
+	// either way; raw-topology experiments whose links all have zero
+	// propagation delay (the Figure-1 chain) have no shard boundary to
+	// cut and ignore it.
+	Shards int
 }
 
 func (c *RunConfig) fill() {

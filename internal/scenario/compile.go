@@ -24,6 +24,10 @@ type Options struct {
 	// Horizon overrides the file's Run horizon (simulated seconds) when
 	// positive.
 	Horizon float64
+	// Shards overrides the file's Net shards count when positive, splitting
+	// the network across that many parallel engines. Reports are
+	// bit-identical whatever the value.
+	Shards int
 }
 
 // Defaults a scenario starts from when its file leaves a knob unset.
@@ -188,10 +192,13 @@ func (s *Sim) Run() *Report {
 	if s.report != nil {
 		return s.report
 	}
+	// Timeline events are control events: on a sharded network they run at
+	// inter-window barriers on the control engine; sequentially the control
+	// key makes them sort before same-time data events — the same order.
 	eng := s.Net.Engine()
 	for _, ev := range s.events {
 		ev := ev
-		eng.At(ev.at, func() { ev.fn(s) })
+		eng.AtControl(ev.at, func() { ev.fn(s) })
 	}
 	for _, ch := range s.churns {
 		ch.schedule(s)
@@ -219,6 +226,9 @@ type compiler struct {
 	traceDt     float64
 
 	net        *core.Network
+	shards     int              // the Net "shards" argument (0 = unsharded)
+	shardsPos  Pos              // where shards was requested, for diagnostics
+	pins       map[string]int   // Switch(shard N) partition pins
 	netRouting string           // the Net "routing" argument: "", "static" or "auto"
 	decls      map[string]*Decl // element name -> declaring decl
 	switches   map[string]bool  // includes generator-produced names
@@ -252,6 +262,7 @@ func (c *compiler) compile() *Sim {
 	c.attached = make(map[string]int)
 	c.dynNames = make(map[string]bool)
 	c.declAt = make(map[string]float64)
+	c.pins = make(map[string]int)
 	c.flows = make(map[string]*SimFlow)
 	c.nextID = 1
 
@@ -362,7 +373,13 @@ func (c *compiler) compile() *Sim {
 			for _, n := range d.Names {
 				c.addSwitch(n.Text, n.Pos)
 			}
-			c.argsOf(d).finish()
+			a := c.argsOf(d)
+			if pin := a.count("shard", -1, -1); pin >= 0 {
+				for _, n := range d.Names {
+					c.pins[n.Text] = pin
+				}
+			}
+			a.finish("shard")
 		case classGenerator:
 			c.generate(d)
 		}
@@ -378,6 +395,33 @@ func (c *compiler) compile() *Sim {
 			c.linkChain(ch)
 		} else {
 			attachments = append(attachments, ch)
+		}
+	}
+
+	// Pass 4.5: partition the network for parallel execution — after the
+	// topology is final, before any flow or connection captures a per-node
+	// engine. Every TCP declaration contributes a Together constraint (a
+	// connection's endpoints must share a shard); Switch(shard N) pins are
+	// applied as given. Unknown path names are skipped here — the TCP pass
+	// diagnoses them with a proper position.
+	if shards := c.effectiveShards(); shards > 0 {
+		var together [][2]string
+		for _, d := range c.allDecls() {
+			if kindClass[d.Kind] != classTCP {
+				continue
+			}
+			p := c.argsOf(d).path("path", false)
+			if !c.ok() {
+				return nil
+			}
+			if len(p) >= 2 && c.switches[p[0].Text] && c.switches[p[len(p)-1].Text] {
+				together = append(together, [2]string{p[0].Text, p[len(p)-1].Text})
+			}
+		}
+		err := c.net.SetShards(core.PartitionSpec{Shards: shards, Together: together, Pins: c.pins})
+		if err != nil {
+			c.failf(c.shardsPos, "%v", err)
+			return nil
 		}
 	}
 
@@ -433,6 +477,15 @@ func (c *compiler) compile() *Sim {
 	}
 	c.out.nextID = c.nextID
 	return c.out
+}
+
+// effectiveShards resolves the shard count: the Options override wins, then
+// the file's Net shards argument; 0 means unsharded (the classic engine).
+func (c *compiler) effectiveShards() int {
+	if c.opts.Shards > 0 {
+		return c.opts.Shards
+	}
+	return c.shards
 }
 
 // allDecls returns every declaration — top-level and event-block — in file
@@ -495,7 +548,14 @@ func (c *compiler) netConfig(d *Decl) core.Config {
 		cfg.Sharing = s
 	}
 	c.netRouting = a.enum("routing", "", "static", "auto")
-	a.finish("rate", "sched", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing", "routing")
+	c.shards = a.count("shards", -1, 0)
+	if pos, ok := a.given("shards", -1); ok {
+		c.shardsPos = pos
+		if c.shards < 1 {
+			c.failf(pos, "Net shards must be at least 1, got %d", c.shards)
+		}
+	}
+	a.finish("rate", "sched", "classes", "targets", "buffer", "quota", "maxpkt", "propdelay", "admission", "sharing", "routing", "shards")
 	// An explicit zero quota is expressible (no datagram reservation);
 	// core.Config spells it with the NoDatagramQuota sentinel because its
 	// zero value means "use the default".
@@ -824,7 +884,9 @@ func (c *compiler) tcpDecl(d *Decl, at float64) {
 		conn := tcp.NewConnection(c.net.Topology(), cc)
 		st := &SimTCP{Name: n.Text, Conn: conn, StartAt: startAt}
 		c.out.TCPs = append(c.out.TCPs, st)
-		eng := c.net.Engine()
+		// The connection's whole state machine runs on the data-ingress
+		// node's engine; its start must be scheduled there too.
+		eng := c.net.Topology().Node(nodes[0]).Engine()
 		if startAt > 0 {
 			c.out.starts = append(c.out.starts, func() { eng.At(st.StartAt, conn.Start) })
 		} else {
@@ -972,16 +1034,18 @@ func (c *compiler) buildSource(d *Decl, n Name, flow *SimFlow) source.Source {
 func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at float64, dynamic bool) {
 	a := c.argsOf(d)
 	startAt := a.duration("start", -1, 0)
-	source.AttachPool(src, c.net.Pool())
-	eng := c.net.Engine()
 	flow.sources = append(flow.sources, src)
 	if dynamic {
+		// The flow (and so its ingress engine and pool) exists only if
+		// admission said yes at event time.
 		c.out.events = append(c.out.events, simEvent{at: at, fn: func(s *Sim) {
 			if flow.Flow == nil || flow.removed {
 				return
 			}
-			inject := flow.Flow.Inject
-			begin := func() { src.Start(eng, func(p *packet.Packet) { inject(p) }) }
+			f := flow.Flow
+			source.AttachPool(src, f.IngressPool())
+			eng := f.IngressEngine()
+			begin := func() { src.Start(eng, func(p *packet.Packet) { f.Inject(p) }) }
 			if startAt > at {
 				eng.At(startAt, begin)
 			} else {
@@ -990,8 +1054,10 @@ func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at flo
 		}})
 		return
 	}
-	inject := flow.Flow.Inject
-	begin := func() { src.Start(eng, func(p *packet.Packet) { inject(p) }) }
+	f := flow.Flow
+	source.AttachPool(src, f.IngressPool())
+	eng := f.IngressEngine()
+	begin := func() { src.Start(eng, func(p *packet.Packet) { f.Inject(p) }) }
 	if startAt > 0 {
 		c.out.starts = append(c.out.starts, func() { eng.At(startAt, begin) })
 	} else {

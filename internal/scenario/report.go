@@ -212,7 +212,7 @@ func (s *Sim) buildReport() *Report {
 	}
 	if tr := s.trace; tr != nil {
 		for k := 0; k < tr.nfull; k++ {
-			d := tr.delay.Bin(k)
+			d := tr.delayBin(k)
 			row := TraceRow{
 				Start:     float64(k) * tr.dt,
 				End:       float64(k+1) * tr.dt,

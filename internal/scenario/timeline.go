@@ -401,14 +401,21 @@ func (s *Sim) allocID() uint32 {
 }
 
 // tapFlow feeds a flow's deliveries into the trace (when tracing is on).
+// Each flow gets its own series, stamped by its egress engine's clock (the
+// clock that times the delivery) and written only from that engine — so
+// shards never share a series. The report merges the series bin-wise in
+// registration order; TimeBin aggregates are order-independent, so the merge
+// is identical however the windows interleaved.
 func (s *Sim) tapFlow(f *core.Flow) {
 	if s.trace == nil {
 		return
 	}
 	tr := s.trace
-	eng := s.Net.Engine()
+	series := stats.NewTimeSeries(tr.dt)
+	tr.delays = append(tr.delays, series)
+	eng := f.EgressEngine()
 	f.Tap(func(_ *packet.Packet, queueing float64) {
-		tr.delay.Add(eng.Now(), queueing)
+		series.Add(eng.Now(), queueing)
 	})
 }
 
@@ -542,6 +549,9 @@ func (ch *churnRun) schedule(s *Sim) {
 	if until <= 0 || until > s.Horizon {
 		until = s.Horizon
 	}
+	// Arrivals are control events: admission, source attachment and
+	// departure scheduling all run between shard windows (and in the same
+	// relative order sequentially, thanks to the control key).
 	eng := s.Net.Engine()
 	var arrive func()
 	arrive = func() {
@@ -549,9 +559,9 @@ func (ch *churnRun) schedule(s *Sim) {
 			return
 		}
 		ch.doArrival(s)
-		eng.At(eng.Now()+ch.rng.Exp(ch.every), arrive)
+		eng.AtControl(eng.Now()+ch.rng.Exp(ch.every), arrive)
 	}
-	eng.At(ch.start+ch.rng.Exp(ch.every), arrive)
+	eng.AtControl(ch.start+ch.rng.Exp(ch.every), arrive)
 }
 
 // doArrival admits (or not) one churn flow, attaches its source, and
@@ -584,10 +594,10 @@ func (ch *churnRun) doArrival(s *Sim) {
 	} else {
 		src = source.NewPoisson(source.PoissonConfig{SizeBits: ch.size, Rate: ch.pps, RNG: srng})
 	}
-	source.AttachPool(src, s.Net.Pool())
-	src.Start(eng, func(p *packet.Packet) { f.Inject(p) })
+	source.AttachPool(src, f.IngressPool())
+	src.Start(f.IngressEngine(), func(p *packet.Packet) { f.Inject(p) })
 	commits := ch.service != "Datagram"
-	eng.At(now+holdFor, func() {
+	eng.AtControl(now+holdFor, func() {
 		source.StopSource(src)
 		s.Net.Release(id)
 		ch.departed++
@@ -608,8 +618,8 @@ type traceRec struct {
 	dt    float64
 	nfull int
 
-	delay    *stats.TimeSeries // queueing delay of every delivered packet
-	admitted *stats.TimeSeries // admission grants (count per interval)
+	delays   []*stats.TimeSeries // per-flow delivery delays, in tap order
+	admitted *stats.TimeSeries   // admission grants (count per interval)
 	rejected *stats.TimeSeries
 	departed *stats.TimeSeries
 	util     []float64 // per-interval busiest-link utilization
@@ -624,11 +634,26 @@ func newTraceRec(dt, horizon float64) *traceRec {
 	return &traceRec{
 		dt:       dt,
 		nfull:    int(horizon/dt + 1e-9),
-		delay:    stats.NewTimeSeries(dt),
 		admitted: stats.NewTimeSeries(dt),
 		rejected: stats.NewTimeSeries(dt),
 		departed: stats.NewTimeSeries(dt),
 	}
+}
+
+// delayBin merges the per-flow delay series for interval i. TimeBin fields
+// are sums and a max, so merging in registration order gives the same bin in
+// sequential and sharded runs.
+func (tr *traceRec) delayBin(i int) stats.TimeBin {
+	var b stats.TimeBin
+	for _, ts := range tr.delays {
+		x := ts.Bin(i)
+		b.N += x.N
+		b.Sum += x.Sum
+		if x.Max > b.Max {
+			b.Max = x.Max
+		}
+	}
+	return b
 }
 
 // arm schedules the interval-boundary ticks that sample link utilization.
@@ -661,8 +686,12 @@ func (tr *traceRec) arm(s *Sim) {
 		}
 		tr.util = append(tr.util, busiest)
 		if k < tr.nfull {
-			eng.At(float64(k+1)*tr.dt, tick)
+			eng.AtControl(float64(k+1)*tr.dt, tick)
 		}
 	}
-	eng.At(tr.dt, tick)
+	// Ticks are control events: on a sharded network the coordinator
+	// barriers at every tick time, so TxBits is read with all shards
+	// parked exactly at the interval boundary — the same counter values a
+	// sequential run reads (control sorts before same-time data events).
+	eng.AtControl(tr.dt, tick)
 }

@@ -1,9 +1,12 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains a clock (float64 seconds) and a pending-event queue
-// ordered by (time, insertion sequence), so simulations are fully
-// reproducible: two events scheduled for the same instant fire in the order
-// they were scheduled. Events are cancellable.
+// ordered by (time, ordering key, insertion sequence), so simulations are
+// fully reproducible: two events scheduled for the same instant fire
+// control-before-data-before-delivery, and within one key in the order they
+// were scheduled. The key layer makes same-instant ordering identical
+// whether a run executes on one engine or sharded across several (see
+// Coordinator). Events are cancellable.
 //
 // The fast path is allocation-free and pointer-free in steady state: the
 // pending queue is an index-based 4-ary min-heap of plain-value entries
@@ -37,6 +40,13 @@ type node struct {
 // entry is one heap slot: the ordering key plus the index of its node. It
 // deliberately contains no pointers, so heap maintenance never pays a GC
 // write barrier and comparisons stay within the heap's own cache lines.
+//
+// seq is a composite tie-break: the top 24 bits hold the event's ordering
+// key and the low 40 bits an insertion counter, so same-time events fire
+// control first, then data-path events, then propagation deliveries in
+// port order — and within one key, in insertion order. The key layer makes
+// same-instant ordering independent of *which engine* inserted the event,
+// which is what lets a sharded run replay the sequential order exactly.
 type entry struct {
 	time float64
 	seq  uint64
@@ -49,6 +59,27 @@ func entryLess(a, b entry) bool {
 	}
 	return a.seq < b.seq
 }
+
+// Ordering keys for same-time tie-breaks. Every event carries a key; at one
+// instant, smaller keys fire first. The engine's default scheduling calls
+// use KeyData; timeline verbs, churn chains and trace ticks use KeyControl
+// (via AtControl); link-propagation deliveries use KeyDelivery + the
+// receiving port's index (via AtCallKeyed), so deliveries landing at the
+// same instant fire in global port order whichever shard sent them.
+const (
+	KeyControl uint32 = 0 // timeline verbs, churn, trace sampling
+	KeyData    uint32 = 1 // sources, transmissions, timers (the default)
+	// KeyDelivery is the base for propagation-delay deliveries; the
+	// actual key is KeyDelivery + Port.Index().
+	KeyDelivery uint32 = 2
+)
+
+// seqBits is the width of the per-engine insertion counter inside the
+// composite tie-break; keys occupy the bits above it.
+const seqBits = 40
+
+// maxKey bounds ordering keys (24 bits remain above the counter).
+const maxKey = 1<<24 - 1
 
 // nodeBlockSize is the node-slab allocation unit.
 const nodeBlockSize = 128
@@ -123,7 +154,22 @@ func (e *Engine) At(t float64, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	n := e.insert(t)
+	n := e.insert(t, KeyData)
+	n.fn = fn
+	return Event{n: n, gen: n.gen}
+}
+
+// AtControl arranges for fn to run at absolute time t with control
+// ordering: at one instant, control events fire before every data-path
+// event and delivery. A sharded run executes control events between shard
+// windows with all clocks equal, so scheduling all external intervention
+// (timeline verbs, churn, trace sampling) through AtControl is what keeps
+// the two modes' same-instant interleavings identical.
+func (e *Engine) AtControl(t float64, fn func()) Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	n := e.insert(t, KeyControl)
 	n.fn = fn
 	return Event{n: n, gen: n.gen}
 }
@@ -145,10 +191,17 @@ func (e *Engine) ScheduleCall(delay float64, call func(any), arg any) {
 
 // AtCall is ScheduleCall with an absolute time, clamped to now.
 func (e *Engine) AtCall(t float64, call func(any), arg any) {
+	e.AtCallKeyed(t, KeyData, call, arg)
+}
+
+// AtCallKeyed is AtCall with an explicit ordering key (see KeyControl and
+// friends). Keys above maxKey panic — they would corrupt the composite
+// tie-break.
+func (e *Engine) AtCallKeyed(t float64, key uint32, call func(any), arg any) {
 	if call == nil {
 		panic("sim: nil event function")
 	}
-	n := e.insert(t)
+	n := e.insert(t, key)
 	n.call = call
 	n.arg = arg
 }
@@ -159,10 +212,17 @@ func (e *Engine) nodeAt(ni uint32) *node {
 }
 
 // insert takes a node from the free list (growing the slab if needed),
-// stamps it and pushes its heap entry.
-func (e *Engine) insert(t float64) *node {
+// stamps it and pushes its heap entry keyed by (time, key, insertion
+// counter).
+func (e *Engine) insert(t float64, key uint32) *node {
 	if t < e.now {
 		t = e.now
+	}
+	if key > maxKey {
+		panic("sim: ordering key out of range")
+	}
+	if e.seq >= 1<<seqBits {
+		panic("sim: insertion counter exhausted")
 	}
 	if len(e.free) == 0 {
 		blk := new([nodeBlockSize]node)
@@ -179,7 +239,7 @@ func (e *Engine) insert(t float64) *node {
 	e.free = e.free[:k]
 	n.time = t
 	n.pending = true
-	e.heap = append(e.heap, entry{time: t, seq: e.seq, ni: n.ni})
+	e.heap = append(e.heap, entry{time: t, seq: uint64(key)<<seqBits | e.seq, ni: n.ni})
 	e.seq++
 	e.siftUp(len(e.heap) - 1)
 	return n
@@ -257,6 +317,52 @@ func (e *Engine) RunUntil(t float64) {
 	if !e.stopped && !math.IsInf(t, 1) && t > e.now {
 		e.now = t
 	}
+}
+
+// RunUntilBefore executes events with time strictly less than t, then
+// advances the clock to t. It is the shard-window primitive: a shard
+// granted the half-open window [now, t) runs exactly the events it owns in
+// that window, leaving time-t events for after the barrier (where control
+// events and cross-shard deliveries at t are sequenced first).
+func (e *Engine) RunUntilBefore(t float64) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		top := e.heap[0]
+		if top.time >= t {
+			break
+		}
+		h := e.heap
+		last := len(h) - 1
+		h[0] = h[last]
+		e.heap = h[:last]
+		if last > 1 {
+			e.siftDown(0)
+		}
+		if top.time > e.now {
+			e.now = top.time
+		}
+		e.processed++
+		n := e.nodeAt(top.ni)
+		fn, call, arg := n.fn, n.call, n.arg
+		e.recycle(n)
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
+	}
+	if !e.stopped && !math.IsInf(t, 1) && t > e.now {
+		e.now = t
+	}
+}
+
+// NextEventTime returns the time of the earliest pending event, or +Inf
+// with an empty queue. The shard coordinator uses it to bound each window.
+func (e *Engine) NextEventTime() float64 {
+	if len(e.heap) == 0 {
+		return math.Inf(1)
+	}
+	return e.heap[0].time
 }
 
 // String summarizes engine state, for debugging.

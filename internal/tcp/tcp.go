@@ -10,6 +10,7 @@
 package tcp
 
 import (
+	"fmt"
 	"math"
 
 	"ispn/internal/packet"
@@ -130,14 +131,32 @@ func NewConnection(net *topology.Network, cfg Config) *Connection {
 	if cfg.DataFlowID == cfg.AckFlowID {
 		panic("tcp: data and ack flow ids must differ")
 	}
+	// The connection's whole state machine — sender, receiver, timers —
+	// runs on the data ingress node's engine and draws from its pool, so
+	// TCP works unchanged on sharded networks as long as both endpoints
+	// share a shard (validated below; intermediate hops may live anywhere).
+	ingress := net.Node(cfg.Path[0])
+	if ingress == nil {
+		panic(fmt.Sprintf("tcp: unknown node %q", cfg.Path[0]))
+	}
+	for _, name := range []string{cfg.Path[len(cfg.Path)-1], cfg.ReversePath[0], cfg.ReversePath[len(cfg.ReversePath)-1]} {
+		nd := net.Node(name)
+		if nd == nil {
+			panic(fmt.Sprintf("tcp: unknown node %q", name))
+		}
+		if nd.Engine() != ingress.Engine() {
+			panic(fmt.Sprintf("tcp: endpoints %q and %q sit on different shards; a connection's endpoints must share a shard (use a Together partition constraint)",
+				cfg.Path[0], name))
+		}
+	}
 	c := &Connection{
 		cfg:   cfg,
 		net:   net,
-		eng:   net.Engine(),
+		eng:   ingress.Engine(),
 		cwnd:  1,
 		ssthr: cfg.MaxCwnd,
 		rto:   1.0,
-		pool:  net.Pool(),
+		pool:  ingress.Pool(),
 	}
 	winSize := uint64(256)
 	for winSize < 4*uint64(cfg.MaxCwnd) {

@@ -24,13 +24,20 @@ const DefaultBufferPackets = 200
 // Sink consumes a packet that has reached its final switch.
 type Sink func(p *packet.Packet)
 
-// Network is a collection of nodes and directed links driven by one engine.
+// Network is a collection of nodes and directed links driven by one engine —
+// or, after ConfigureShards, by one engine per shard plus the original
+// engine acting as the control engine (timeline verbs, churn, trace
+// sampling), synchronized by a sim.Coordinator.
 type Network struct {
 	eng   *sim.Engine
 	pool  *packet.Pool
 	nodes map[string]*Node
 	order []*Node // deterministic iteration
 	ports []*Port // every port, in creation order (= Port.Index order)
+
+	shards    []*Shard
+	xports    []*Port // cross-shard ports, in Index order
+	lookahead float64 // min cross-shard propagation delay (+Inf if none)
 }
 
 // NewNetwork returns an empty network on the given engine.
@@ -55,6 +62,8 @@ func (n *Network) AddNode(name string) *Node {
 	nd := &Node{
 		name:  name,
 		net:   n,
+		eng:   n.eng,
+		pool:  n.pool,
 		ports: make(map[string]*Port),
 		next:  make(map[uint32]*Port),
 		sinks: make(map[uint32]Sink),
@@ -195,6 +204,9 @@ const directTableMax = 1 << 16
 type Node struct {
 	name      string
 	net       *Network
+	eng       *sim.Engine  // the engine this node's events run on (its shard's)
+	pool      *packet.Pool // the free list this node's traffic draws from
+	shard     int
 	ports     map[string]*Port
 	portOrder []*Port
 	next      map[uint32]*Port // flow id -> output port
@@ -209,6 +221,19 @@ type Node struct {
 
 // Name returns the node's name.
 func (nd *Node) Name() string { return nd.name }
+
+// Engine returns the engine this node's events run on: the network engine
+// normally, the owning shard's engine after ConfigureShards. Anything that
+// schedules work at a node — sources, transport timers, sink timestamps —
+// must use this engine, not the network's.
+func (nd *Node) Engine() *sim.Engine { return nd.eng }
+
+// Pool returns the packet free list for traffic injected at this node (the
+// owning shard's pool after ConfigureShards).
+func (nd *Node) Pool() *packet.Pool { return nd.pool }
+
+// ShardIndex returns the shard owning this node (0 when unsharded).
+func (nd *Node) ShardIndex() int { return nd.shard }
 
 // Port returns the output port toward the named neighbor, or nil.
 func (nd *Node) Port(to string) *Port { return nd.ports[to] }
@@ -301,6 +326,14 @@ type Port struct {
 	qlen       int // mirrors sched.Len(), avoiding interface calls per packet
 	busy       bool
 	retryArmed bool // a wake-up is scheduled for a non-work-conserving scheduler
+	remote     bool // link crosses a shard boundary (set by ConfigureShards)
+
+	// xq buffers packets bound for a remote shard: onTxDone appends
+	// (arrival time, packet) here instead of scheduling the delivery, and
+	// the coordinator's barrier flush drains it into the destination
+	// shard's engine. The slice is reused across barriers, so the steady
+	// state allocates nothing.
+	xq []xentry
 
 	// txDone/deliver are the prebound transmit-complete and
 	// propagation-arrival event callbacks (see AddLink).
@@ -355,7 +388,7 @@ func (pt *Port) Scheduler() sched.Scheduler { return pt.sched }
 // is responsible for re-registering any per-flow state (reservations) on
 // the new scheduler before the swap.
 func (pt *Port) SetScheduler(s sched.Scheduler) {
-	now := pt.node.net.eng.Now()
+	now := pt.node.eng.Now()
 	for pt.sched.Len() > 0 {
 		p := pt.sched.Dequeue(now)
 		if p == nil {
@@ -402,7 +435,7 @@ func (pt *Port) SetBandwidth(r float64) {
 		panic("topology: bandwidth must be positive")
 	}
 	if r != pt.bandwidth {
-		pt.util.Reset(pt.node.net.eng.Now())
+		pt.util.Reset(pt.node.eng.Now())
 	}
 	pt.bandwidth = r
 }
@@ -411,13 +444,23 @@ func (pt *Port) SetBandwidth(r float64) {
 func (pt *Port) PropDelay() float64 { return pt.propDelay }
 
 // SetPropDelay changes the propagation delay mid-run; packets already on the
-// wire keep the old delay.
+// wire keep the old delay. On a link that crosses a shard boundary the new
+// delay must stay at or above the partition's lookahead — the coordinator's
+// window width was fixed from the minimum cross-shard delay at partition
+// time, and a shorter delay could deliver into a window already running.
 func (pt *Port) SetPropDelay(d float64) {
 	if d < 0 {
 		panic("topology: propagation delay must be non-negative")
 	}
+	if pt.remote && d < pt.node.net.lookahead {
+		panic(fmt.Sprintf("topology: cross-shard link %s propagation delay %.9gs below shard lookahead %.9gs",
+			pt.name, d, pt.node.net.lookahead))
+	}
 	pt.propDelay = d
 }
+
+// Remote reports whether the link crosses a shard boundary.
+func (pt *Port) Remote() bool { return pt.remote }
 
 // Down reports whether the link is failed.
 func (pt *Port) Down() bool { return pt.down }
@@ -453,7 +496,7 @@ func (pt *Port) SetDown(down bool) {
 // contract violation) keeps them queued: the occupancy mirrors stay
 // consistent with Len(), and the restore re-arm serves the remainder.
 func (pt *Port) flush() {
-	now := pt.node.net.eng.Now()
+	now := pt.node.eng.Now()
 	for pt.sched.Len() > 0 {
 		p := pt.sched.Dequeue(now)
 		if p == nil {
@@ -515,7 +558,7 @@ func (pt *Port) TotalUtilization(now float64) float64 {
 }
 
 func (pt *Port) enqueue(p *packet.Packet) {
-	now := pt.node.net.eng.Now()
+	now := pt.node.eng.Now()
 	pt.counter.Total++
 	if pt.down {
 		pt.counter.Dropped++
@@ -570,7 +613,7 @@ func (pt *Port) scheduleRetry(now float64) {
 		return
 	}
 	pt.retryArmed = true
-	pt.node.net.eng.At(t, func() {
+	pt.node.eng.At(t, func() {
 		pt.retryArmed = false
 		if !pt.busy {
 			pt.transmitNext()
@@ -586,7 +629,7 @@ func (pt *Port) transmitNext() {
 		pt.busy = false
 		return
 	}
-	eng := pt.node.net.eng
+	eng := pt.node.eng
 	now := eng.Now()
 	var p *packet.Packet
 	for {
@@ -619,13 +662,157 @@ func (pt *Port) transmitNext() {
 
 // onTxDone fires when a packet finishes serialization onto the link: hand
 // it to the far end (after propagation, if any) and start the next one.
+//
+// Propagation deliveries are keyed by the port index (sim.KeyDelivery +
+// Index) in sharded AND sequential mode, so same-instant deliveries fire in
+// global port order regardless of which engine scheduled them — the
+// tie-break that makes sharded runs bit-identical. A remote port cannot
+// touch the destination shard's engine mid-window; it buffers the delivery
+// in xq for the coordinator's barrier flush instead.
 func (pt *Port) onTxDone(arg any) {
 	p := arg.(*packet.Packet)
 	p.Hops++
-	if pt.propDelay > 0 {
-		pt.node.net.eng.ScheduleCall(pt.propDelay, pt.deliver, p)
+	if pt.remote {
+		pt.xq = append(pt.xq, xentry{t: pt.node.eng.Now() + pt.propDelay, p: p})
+	} else if pt.propDelay > 0 {
+		eng := pt.node.eng
+		eng.AtCallKeyed(eng.Now()+pt.propDelay, sim.KeyDelivery+uint32(pt.index), pt.deliver, p)
 	} else {
 		pt.dst.receive(p)
 	}
 	pt.transmitNext()
+}
+
+// xentry is one buffered cross-shard delivery: the packet and its arrival
+// time at the far end.
+type xentry struct {
+	t float64
+	p *packet.Packet
+}
+
+// --- sharding ---------------------------------------------------------------
+
+// Shard is one partition of a sharded network: a set of nodes sharing one
+// event loop and one packet free list. Shards are created by
+// ConfigureShards; a sim.Coordinator advances them in lockstep windows.
+type Shard struct {
+	index int
+	eng   *sim.Engine
+	pool  *packet.Pool
+}
+
+// Index returns the shard's position.
+func (s *Shard) Index() int { return s.index }
+
+// Engine returns the shard's event loop.
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+// Pool returns the shard's packet free list.
+func (s *Shard) Pool() *packet.Pool { return s.pool }
+
+// ConfigureShards partitions the network: assign maps each node (in
+// creation order, matching Nodes()) to a shard in [0, nshards). Every node
+// in a shard is re-pointed at the shard's fresh engine and packet pool; the
+// network's original engine becomes the control engine (Engine() still
+// returns it), on which timeline verbs, churn and trace sampling run
+// between shard windows. Links whose endpoints land in different shards
+// become remote ports; each must have a positive propagation delay — the
+// minimum over them is the partition's conservative lookahead, returned by
+// Lookahead(). A zero-delay cross-shard link is a configuration error (it
+// would force a zero-width synchronization window, i.e. a deadlock), so it
+// is diagnosed here rather than discovered as a hang.
+//
+// Call it after the topology is built and before any flow state, source or
+// transport endpoint captures a node's engine or pool. It may be called at
+// most once.
+func (n *Network) ConfigureShards(assign []int, nshards int) error {
+	if n.shards != nil {
+		return fmt.Errorf("topology: network already sharded")
+	}
+	if nshards < 1 {
+		return fmt.Errorf("topology: need at least 1 shard, got %d", nshards)
+	}
+	if len(assign) != len(n.order) {
+		return fmt.Errorf("topology: shard assignment covers %d nodes, network has %d", len(assign), len(n.order))
+	}
+	for i, s := range assign {
+		if s < 0 || s >= nshards {
+			return fmt.Errorf("topology: node %q assigned to shard %d, want [0,%d)", n.order[i].name, s, nshards)
+		}
+	}
+	shards := make([]*Shard, nshards)
+	for i := range shards {
+		shards[i] = &Shard{index: i, eng: sim.New(), pool: packet.NewPool()}
+	}
+	for i, nd := range n.order {
+		sh := shards[assign[i]]
+		nd.shard = sh.index
+		nd.eng = sh.eng
+		nd.pool = sh.pool
+	}
+	lookahead := math.Inf(1)
+	var xports []*Port
+	for _, pt := range n.ports {
+		if pt.node.shard == pt.dst.shard {
+			continue
+		}
+		if pt.propDelay <= 0 {
+			return fmt.Errorf("topology: link %s crosses shards %d->%d with zero propagation delay; cross-shard links need positive delay (the conservative lookahead)",
+				pt.name, pt.node.shard, pt.dst.shard)
+		}
+		pt.remote = true
+		xports = append(xports, pt)
+		if pt.propDelay < lookahead {
+			lookahead = pt.propDelay
+		}
+	}
+	n.shards = shards
+	n.xports = xports
+	n.lookahead = lookahead
+	return nil
+}
+
+// Sharded reports whether ConfigureShards has been applied.
+func (n *Network) Sharded() bool { return n.shards != nil }
+
+// Shards returns the partitions created by ConfigureShards (nil before).
+func (n *Network) Shards() []*Shard { return n.shards }
+
+// Lookahead returns the minimum cross-shard propagation delay (+Inf with no
+// cross-shard links, or before ConfigureShards).
+func (n *Network) Lookahead() float64 {
+	if n.shards == nil {
+		return math.Inf(1)
+	}
+	return n.lookahead
+}
+
+// FlushCross drains every remote port's buffered deliveries into the
+// destination shards' engines. The coordinator calls it at each barrier,
+// with every worker parked and all clocks equal, so it is single-threaded.
+//
+// Determinism: ports drain in Index order and each queue in send order, and
+// the delivery events carry the port-index ordering key, so same-instant
+// arrivals sort identically to the sequential engine no matter which shard
+// sent them or which barrier injected them. Each packet is adopted by the
+// destination shard's pool (its eventual release becomes shard-local), and
+// the same number of free packets flows back to the sender's pool so
+// one-way cross-shard traffic cannot drain a pool into endless fresh
+// allocation. Pool membership never affects results, only allocation.
+func (n *Network) FlushCross() {
+	for _, pt := range n.xports {
+		if len(pt.xq) == 0 {
+			continue
+		}
+		dst := pt.dst
+		key := sim.KeyDelivery + uint32(pt.index)
+		for i := range pt.xq {
+			e := &pt.xq[i]
+			dst.pool.Adopt(e.p)
+			dst.eng.AtCallKeyed(e.t, key, pt.deliver, e.p)
+			e.p = nil
+		}
+		dst.pool.TransferFree(pt.node.pool, len(pt.xq))
+		pt.xq = pt.xq[:0]
+	}
 }

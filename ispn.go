@@ -69,6 +69,11 @@ type (
 	// Network.SetRouting): automatic reroute on FailLink, path policy
 	// (shortest/spread) and link cost (hops/delay/load).
 	RoutingConfig = core.RoutingConfig
+	// PartitionSpec configures sharded parallel execution (pass to
+	// Network.SetShards before creating flows): shard count, Together
+	// constraints and per-switch pins. A sharded run is bit-identical to
+	// the sequential engine on the same assignment.
+	PartitionSpec = core.PartitionSpec
 	// Profile is a per-port scheduling profile: discipline kind, sharing
 	// mode, class targets, datagram quota and FIFO+ gain. Pass one to
 	// Network.ConnectWith to deploy heterogeneous pipelines link by link.
@@ -172,11 +177,12 @@ func NewPolicedSource(src Source, rate, depth float64) *source.Policed {
 }
 
 // StartSource attaches src to a flow: generated packets are allocated from
-// the network's packet pool and injected at the flow's first switch
-// (subject to the flow's edge policing).
+// the flow's ingress packet pool and injected at the flow's first switch
+// (subject to the flow's edge policing). The source runs on the ingress
+// switch's engine, so it works unchanged on sharded networks.
 func StartSource(n *Network, src Source, f *Flow) {
-	source.AttachPool(src, n.Pool())
-	src.Start(n.Engine(), func(p *Packet) { f.Inject(p) })
+	source.AttachPool(src, f.IngressPool())
+	src.Start(f.IngressEngine(), func(p *Packet) { f.Inject(p) })
 }
 
 // TCP (datagram substrate).
