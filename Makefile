@@ -1,9 +1,9 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile
+.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile fuzz-smoke cover
 
-ci: vet build examples test scenario-check bench-smoke
+ci: vet build examples test scenario-check bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,21 @@ profile:
 	$(GO) run ./cmd/ispnsim -shards 4 -cpuprofile cpu.pprof -memprofile mem.pprof \
 		run scenarios/*.ispn
 	@echo "wrote cpu.pprof and mem.pprof"
+
+# Fuzz smoke: a few seconds of coverage-guided fuzzing over the .ispn
+# lexer/parser and compiler, then a randomized scenario fuzz run — every
+# world simulated sequentially and sharded under the invariant oracle with
+# byte-identical reports required (see docs/TESTING.md). The nightly CI job
+# runs the same harnesses much longer.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzCompileScenario -fuzztime 5s ./internal/scenario
+	$(GO) run ./cmd/ispnsim -n 50 -seed 1 fuzz
+
+# Aggregate test coverage with a per-function summary.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
 
 # Fail on unformatted files (CI gate; prints the offenders).
 fmt-check:

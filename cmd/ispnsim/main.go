@@ -5,8 +5,9 @@
 // Usage:
 //
 //	ispnsim [-duration s] [-seed n] [-parallel n] [-shards n] <experiment>
-//	ispnsim [-seed n] [-horizon s] [-shards n] [-cpuprofile f] [-memprofile f] run <file.ispn>...
+//	ispnsim [-seed n] [-horizon s] [-shards n] [-check] [-cpuprofile f] [-memprofile f] run <file.ispn>...
 //	ispnsim [-seed n] check <file.ispn>...
+//	ispnsim [-n cases] [-seed n] [-shards n] [-corpus dir] fuzz
 //	ispnsim scenarios [dir]
 //
 // where <experiment> is one of: table1, table2, table3, figure1, all,
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"ispn/internal/experiments"
+	"ispn/internal/fuzz"
 	"ispn/internal/scenario"
 )
 
@@ -30,6 +32,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: ispnsim [flags] <experiment>
        ispnsim [flags] run <file.ispn>...
        ispnsim [flags] check <file.ispn>...
+       ispnsim [flags] fuzz
        ispnsim scenarios [dir]
 
 experiments:
@@ -53,6 +56,8 @@ experiments:
 scenarios:
   run <file.ispn>...  simulate scenario files (in parallel when several)
   check <file.ispn>.. parse and validate scenario files without running
+  fuzz                generate -n random worlds, run each sequentially and
+                      sharded under the invariant oracle, minimize failures
   scenarios [dir]     list the scenario library (default dir: scenarios)
 
 flags:
@@ -63,8 +68,8 @@ flags:
 // scenarioOptions translates explicitly set flags into compile overrides, so
 // a file's own Run(seed ..., horizon ...) and Net(shards ...) knobs win
 // unless the user asked.
-func scenarioOptions(seed int64, horizon float64, shards int) scenario.Options {
-	opts := scenario.Options{}
+func scenarioOptions(seed int64, horizon float64, shards int, check bool) scenario.Options {
+	opts := scenario.Options{Check: check}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
@@ -79,9 +84,15 @@ func scenarioOptions(seed int64, horizon float64, shards int) scenario.Options {
 	return opts
 }
 
-// scenarioMain handles the run/check/scenarios verbs; it returns false when
-// name is a classic experiment instead.
-func scenarioMain(name string, args []string, seed int64, horizon float64, shards int) bool {
+// fuzzFlags carries the fuzz verb's knobs from main.
+type fuzzFlags struct {
+	n      int
+	corpus string
+}
+
+// scenarioMain handles the run/check/fuzz/scenarios verbs; it returns false
+// when name is a classic experiment instead.
+func scenarioMain(name string, args []string, seed int64, horizon float64, shards int, check bool, ff fuzzFlags) bool {
 	switch name {
 	case "run":
 		if len(args) == 0 {
@@ -89,7 +100,7 @@ func scenarioMain(name string, args []string, seed int64, horizon float64, shard
 			os.Exit(2)
 		}
 		start := time.Now()
-		results, err := experiments.RunScenarios(args, scenarioOptions(seed, horizon, shards))
+		results, err := experiments.RunScenarios(args, scenarioOptions(seed, horizon, shards, check))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -103,11 +114,33 @@ func scenarioMain(name string, args []string, seed int64, horizon float64, shard
 			fmt.Fprintln(os.Stderr, "ispnsim check: need at least one .ispn file")
 			os.Exit(2)
 		}
-		if err := experiments.CheckScenarios(args, scenarioOptions(seed, horizon, shards)); err != nil {
+		if err := experiments.CheckScenarios(args, scenarioOptions(seed, horizon, shards, check)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("%d scenario(s) OK\n", len(args))
+	case "fuzz":
+		if len(args) != 0 {
+			fmt.Fprintln(os.Stderr, "ispnsim fuzz: takes no arguments (use -n, -seed, -shards, -corpus)")
+			os.Exit(2)
+		}
+		start := time.Now()
+		sum, err := fuzz.Config{
+			N: ff.n, Seed: seed, Shards: shards, Dir: ff.corpus, Log: os.Stdout,
+		}.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("fuzz: %d case(s) from seed %d, %d statically inadmissible, %d failure(s) [%.1fs wall clock]\n",
+			sum.Cases, seed, sum.Skipped, len(sum.Failures), time.Since(start).Seconds())
+		if len(sum.Failures) > 0 {
+			for _, f := range sum.Failures {
+				fmt.Printf("  seed %d: %s\n", f.Seed, f.Reason)
+				fmt.Printf("    repro: %s; replay: ispnsim fuzz -n 1 -seed %d\n", f.Path, f.Seed)
+			}
+			os.Exit(1)
+		}
 	case "scenarios":
 		dir := "scenarios"
 		if len(args) > 0 {
@@ -173,6 +206,9 @@ func main() {
 	horizon := flag.Float64("horizon", 0, "scenario horizon override in simulated seconds (0 = the file's Run horizon)")
 	parallel := flag.Int("parallel", 0, "worker count for independent sub-simulations (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	shards := flag.Int("shards", 0, "shard one simulation across this many parallel engines (0 = sequential; scenarios: overrides the file's Net shards; reports are bit-identical)")
+	check := flag.Bool("check", false, "run scenarios under the invariant oracle (adds an invariants section to each report)")
+	n := flag.Int("n", 100, "fuzz: number of random worlds to generate and check")
+	corpus := flag.String("corpus", "testdata/fuzz", "fuzz: directory receiving minimized failing repros")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when done (pprof format)")
 	flag.Usage = usage
@@ -186,7 +222,8 @@ func main() {
 	}
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
-	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon, *shards) {
+	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon, *shards, *check,
+		fuzzFlags{n: *n, corpus: *corpus}) {
 		return
 	}
 	if flag.NArg() != 1 {
@@ -199,7 +236,8 @@ func main() {
 		start := time.Now()
 		out := fn()
 		fmt.Println(out)
-		fmt.Printf("[%s: %.1fs wall clock, %.0fs simulated]\n\n", name, time.Since(start).Seconds(), *duration)
+		fmt.Printf("[%s: %.1fs wall clock, %.0fs simulated, seed %d]\n\n",
+			name, time.Since(start).Seconds(), *duration, *seed)
 	}
 
 	experimentsByName := map[string]func(){

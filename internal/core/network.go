@@ -165,6 +165,11 @@ type Network struct {
 	// coord drives sharded execution (see SetShards); nil means the
 	// classic single-engine run.
 	coord *sim.Coordinator
+
+	// flowHook, when set, observes every flow as it is registered
+	// (admission already passed). The invariant oracle attaches here; nil
+	// costs registerFlow a single pointer compare.
+	flowHook func(*Flow)
 }
 
 // New creates an empty ISPN.
@@ -491,6 +496,12 @@ type Flow struct {
 	// kept its old path and reservations).
 	rerouted       int64
 	rerouteRefused int64
+
+	// checkTap, when set, observes every delivery before the user-facing
+	// sinkTap — the invariant oracle's per-packet hook. Separate from
+	// sinkTap so enabling checks never displaces a playback client or
+	// trace series.
+	checkTap func(p *packet.Packet, queueing float64)
 }
 
 // Hops returns the number of inter-switch links on the flow's path.
@@ -528,6 +539,10 @@ func (f *Flow) PredictedSpec() PredictedSpec { return f.pspec }
 // Tap registers a callback invoked at the sink with each delivered packet
 // and its end-to-end queueing delay (adaptive playback clients hook here).
 func (f *Flow) Tap(fn func(p *packet.Packet, queueing float64)) { f.sinkTap = fn }
+
+// SetCheckTap registers the invariant oracle's delivery observer, invoked
+// before the flow's Tap. Like Tap, the callback must not retain the packet.
+func (f *Flow) SetCheckTap(fn func(p *packet.Packet, queueing float64)) { f.checkTap = fn }
 
 // IngressEngine returns the engine of the flow's first switch — the engine
 // the flow's sources must run on. Equal to the network engine when
@@ -584,12 +599,28 @@ func (n *Network) registerFlow(f *Flow) {
 		}
 		f.meter.Add(q)
 		f.delivered++
+		if f.checkTap != nil {
+			f.checkTap(p, q)
+		}
 		if f.sinkTap != nil {
 			f.sinkTap(p, q)
 		}
 	})
 	n.flows[f.ID] = f
+	if n.flowHook != nil {
+		n.flowHook(f)
+	}
 }
+
+// SetFlowHook registers an observer called with every flow at registration
+// time (after admission, before any packet flows). The invariant oracle
+// uses it to arm per-flow delivery checks; flows that already exist are not
+// replayed, so attach observers before creating flows.
+func (n *Network) SetFlowHook(fn func(*Flow)) { n.flowHook = fn }
+
+// Flows returns the live flows sorted by id — a deterministic snapshot for
+// sweeps and checkers (the internal map must never dictate an order).
+func (n *Network) Flows() []*Flow { return n.flowsByID() }
 
 // Flow returns an admitted flow by id, or nil.
 func (n *Network) Flow(id uint32) *Flow { return n.flows[id] }

@@ -132,3 +132,44 @@ func TestAdaptiveBadConfigPanics(t *testing.T) {
 	}()
 	NewAdaptive(AdaptiveConfig{TargetLoss: 2})
 }
+
+func TestAdaptiveBeatsRigidOnQuietTraffic(t *testing.T) {
+	// Section 2-3's argument: an adaptive client tracking actual delays
+	// ends up with a much earlier play-back point than a rigid client
+	// parked at the a priori bound, at no extra loss, when the network
+	// runs well under its bound.
+	rigid := NewRigid(0.1)
+	adaptive := NewAdaptive(AdaptiveConfig{InitialPoint: 0.1, TargetLoss: 0.01, Margin: 1.2})
+	for i := 0; i < 5000; i++ {
+		d := 0.002 + 0.001*float64(i%7)
+		rigid.Deliver(float64(i), d)
+		adaptive.Deliver(float64(i), d)
+	}
+	if rigid.Losses() != 0 || adaptive.Losses() != 0 {
+		t.Fatalf("losses on quiet traffic: rigid %d, adaptive %d", rigid.Losses(), adaptive.Losses())
+	}
+	if rigid.Point() != 0.1 {
+		t.Fatalf("rigid point moved to %v", rigid.Point())
+	}
+	if adaptive.Point() > 0.05 {
+		t.Fatalf("adaptive point %.3fs never tracked the ~8ms delays", adaptive.Point())
+	}
+}
+
+func TestDeliverVerdictMatchesPoint(t *testing.T) {
+	// A packet is lost to the application exactly when it arrives after
+	// the play-back point, for both client kinds.
+	rigid := NewRigid(0.02)
+	if rigid.Deliver(0, 0.019) != true || rigid.Deliver(1, 0.021) != false {
+		t.Fatal("rigid verdict disagrees with its point")
+	}
+	a := NewAdaptive(AdaptiveConfig{InitialPoint: 0.02, TargetLoss: 0.1, Margin: 1.1})
+	p := a.Point()
+	late := p + 1e-6
+	if a.Deliver(0, late) {
+		t.Fatalf("delay %.6fs past point %.6fs still delivered", late, p)
+	}
+	if a.Total() != 1 || a.Losses() != 1 {
+		t.Fatalf("counters off: total %d losses %d", a.Total(), a.Losses())
+	}
+}

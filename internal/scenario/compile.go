@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ispn/internal/core"
+	"ispn/internal/invariant"
 	"ispn/internal/packet"
 	"ispn/internal/sched"
 	"ispn/internal/sim"
@@ -28,6 +29,14 @@ type Options struct {
 	// the network across that many parallel engines. Reports are
 	// bit-identical whatever the value.
 	Shards int
+	// Check attaches the invariant oracle: per-delivery bound checks,
+	// periodic conservation/capacity sweeps, and a post-horizon leak check.
+	// The report grows an "invariants" section (and only then — unchecked
+	// reports are byte-for-byte what they always were).
+	Check bool
+	// CheckBoundScale scales the delay bounds the oracle enforces (0 = 1,
+	// the real bounds). Harness tests shrink it to prove the checks bite.
+	CheckBoundScale float64
 }
 
 // Defaults a scenario starts from when its file leaves a knob unset.
@@ -89,6 +98,12 @@ type Sim struct {
 
 	starts []func()
 	report *Report
+
+	// oracle is the invariant checker when Options.Check asked for one;
+	// draining gates deferred starts and post-horizon timeline events while
+	// the leak check drains the network past the horizon.
+	oracle   *invariant.Oracle
+	draining bool
 
 	// Timeline state: scripted events in file order, churn processes,
 	// the optional per-interval trace, the runtime flow-id allocator, and
@@ -198,7 +213,12 @@ func (s *Sim) Run() *Report {
 	eng := s.Net.Engine()
 	for _, ev := range s.events {
 		ev := ev
-		eng.AtControl(ev.at, func() { ev.fn(s) })
+		eng.AtControl(ev.at, func() {
+			if s.draining {
+				return // a -horizon override left this event past the end
+			}
+			ev.fn(s)
+		})
 	}
 	for _, ch := range s.churns {
 		ch.schedule(s)
@@ -206,12 +226,51 @@ func (s *Sim) Run() *Report {
 	if s.trace != nil {
 		s.trace.arm(s)
 	}
+	if s.oracle != nil {
+		s.oracle.Arm(s.Horizon)
+	}
 	for _, fn := range s.starts {
 		fn()
 	}
 	s.Net.Run(s.Horizon)
 	s.report = s.buildReport()
+	if s.oracle != nil {
+		// The report above is frozen at the horizon; now stop all traffic,
+		// let in-flight packets finish, and ask the oracle whether every
+		// packet made it back to a free list.
+		s.quiesce()
+		s.oracle.CheckLeaks(eng.Now())
+		t := s.oracle.Totals()
+		s.report.Check = &CheckReport{Deliveries: t.Deliveries, Sweeps: t.Sweeps, Violations: t.Violations}
+	}
 	return s.report
+}
+
+// quiesce stops every traffic generator and drains the network past the
+// horizon, so the leak checker can tell "still in flight" from "lost". The
+// draining flag gates deferred starts and leftover timeline events; sources,
+// churn-spawned sources and TCP endpoints are stopped explicitly.
+func (s *Sim) quiesce() {
+	s.draining = true
+	for _, sf := range s.Flows {
+		for _, src := range sf.sources {
+			source.StopSource(src)
+		}
+	}
+	for _, ch := range s.churns {
+		for _, src := range ch.srcs {
+			source.StopSource(src)
+		}
+	}
+	for _, t := range s.TCPs {
+		t.Conn.Stop()
+	}
+	// Bounded drain rounds: each extends simulated time, which flushes
+	// queues, cross-shard buffers and in-flight transmissions. A clean run
+	// settles in a round or two; a leak never settles and is reported.
+	for i := 0; i < 40 && !s.oracle.Settled(); i++ {
+		s.Net.Run(0.5)
+	}
 }
 
 type compiler struct {
@@ -354,6 +413,11 @@ func (c *compiler) compile() *Sim {
 		Seed:        c.seed,
 		Horizon:     c.horizon,
 		Percentiles: c.percentiles,
+	}
+	if c.opts.Check {
+		// Attach before any flow exists so compile-time flows are watched
+		// from their first packet.
+		c.out.oracle = invariant.Attach(c.net, invariant.Config{BoundScale: c.opts.CheckBoundScale})
 	}
 	if c.traceDt > 0 {
 		c.out.trace = newTraceRec(c.traceDt, c.horizon)
@@ -985,6 +1049,10 @@ func (c *compiler) buildSource(d *Decl, n Name, flow *SimFlow) source.Source {
 	a := c.argsOf(d)
 	rng := sim.DeriveRNG(c.seed, "src:"+n.Text)
 	size := int(a.bits("size", -1, DefaultPktBits))
+	if size <= 0 {
+		c.failf(d.KindPos, "%s requires a positive packet size, got %d bits", d.Kind, size)
+		return nil
+	}
 	var src source.Source
 	switch d.Kind {
 	case "Markov":
@@ -1045,7 +1113,12 @@ func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at flo
 			f := flow.Flow
 			source.AttachPool(src, f.IngressPool())
 			eng := f.IngressEngine()
-			begin := func() { src.Start(eng, func(p *packet.Packet) { f.Inject(p) }) }
+			begin := func() {
+				if s.draining {
+					return
+				}
+				src.Start(eng, func(p *packet.Packet) { f.Inject(p) })
+			}
 			if startAt > at {
 				eng.At(startAt, begin)
 			} else {
@@ -1057,7 +1130,13 @@ func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at flo
 	f := flow.Flow
 	source.AttachPool(src, f.IngressPool())
 	eng := f.IngressEngine()
-	begin := func() { src.Start(eng, func(p *packet.Packet) { f.Inject(p) }) }
+	out := c.out
+	begin := func() {
+		if out.draining {
+			return
+		}
+		src.Start(eng, func(p *packet.Packet) { f.Inject(p) })
+	}
 	if startAt > 0 {
 		c.out.starts = append(c.out.starts, func() { eng.At(startAt, begin) })
 	} else {

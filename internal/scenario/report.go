@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ispn/internal/invariant"
 	"ispn/internal/sched"
 	"ispn/internal/stats"
 )
@@ -36,7 +37,22 @@ type Report struct {
 	Churns    []ChurnReport
 	Trace     []TraceRow
 	Warnings  []string
+
+	// Check summarizes the invariant oracle when the run was compiled with
+	// Options.Check; nil otherwise, so unchecked reports stay byte-for-byte
+	// what they always were.
+	Check *CheckReport
 }
+
+// CheckReport is the invariant oracle's verdict on one run.
+type CheckReport struct {
+	Deliveries int64 // per-packet bound checks performed
+	Sweeps     int64 // conservation/capacity sweeps performed
+	Violations []invariant.Violation
+}
+
+// Failed reports whether any invariant checker fired.
+func (c *CheckReport) Failed() bool { return len(c.Violations) > 0 }
 
 // RoutingTotals counts network-wide reroute outcomes: flows moved to a new
 // path and reroute attempts refused (no alternate path, or an added hop
@@ -367,6 +383,14 @@ func (r *Report) Format() string {
 		b.WriteString("\ntimeline warnings:\n")
 		for _, w := range r.Warnings {
 			fmt.Fprintf(&b, "  %s\n", w)
+		}
+	}
+
+	if c := r.Check; c != nil {
+		fmt.Fprintf(&b, "\ninvariants: %d deliveries checked, %d sweeps, %d violation(s)\n",
+			c.Deliveries, c.Sweeps, len(c.Violations))
+		for _, v := range c.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
 		}
 	}
 	return b.String()

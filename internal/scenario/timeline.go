@@ -471,6 +471,7 @@ type churnRun struct {
 
 	arrivals, admitted, rejected, departed int64
 	flows                                  []*core.Flow
+	srcs                                   []source.Source // every source ever spawned (quiesce stops them)
 }
 
 // churnDecl compiles a Churn element.
@@ -555,7 +556,7 @@ func (ch *churnRun) schedule(s *Sim) {
 	eng := s.Net.Engine()
 	var arrive func()
 	arrive = func() {
-		if eng.Now() > until {
+		if eng.Now() > until || s.draining {
 			return
 		}
 		ch.doArrival(s)
@@ -595,6 +596,7 @@ func (ch *churnRun) doArrival(s *Sim) {
 		src = source.NewPoisson(source.PoissonConfig{SizeBits: ch.size, Rate: ch.pps, RNG: srng})
 	}
 	source.AttachPool(src, f.IngressPool())
+	ch.srcs = append(ch.srcs, src)
 	src.Start(f.IngressEngine(), func(p *packet.Packet) { f.Inject(p) })
 	commits := ch.service != "Datagram"
 	eng.AtControl(now+holdFor, func() {

@@ -108,6 +108,7 @@ type Connection struct {
 
 	stats   Stats
 	started bool
+	stopped bool
 }
 
 // NewConnection wires a connection into the network: routes for both
@@ -179,11 +180,20 @@ func NewConnection(net *topology.Network, cfg Config) *Connection {
 
 // Start begins transmitting.
 func (c *Connection) Start() {
-	if c.started {
+	if c.started || c.stopped {
 		return
 	}
 	c.started = true
 	c.trySend()
+}
+
+// Stop silences the connection permanently: the retransmission timer is
+// cancelled and no further segments or ACKs are generated (packets already
+// in flight drain and are released normally). Counters are kept. The
+// leak-check quiesce uses it; there is no restart.
+func (c *Connection) Stop() {
+	c.stopped = true
+	c.eng.Cancel(c.timer)
 }
 
 // Stats returns a copy of the connection statistics.
@@ -210,6 +220,9 @@ func (c *Connection) ThroughputBits(elapsed float64) float64 {
 // --- sender ---
 
 func (c *Connection) trySend() {
+	if c.stopped {
+		return
+	}
 	for float64(c.sndNext-c.sndUna) < math.Min(c.cwnd, c.cfg.MaxCwnd) {
 		// After an RTO pulls sndNext back (go-back-N), resent
 		// segments are retransmissions for Karn's rule.
@@ -275,6 +288,9 @@ func (c *Connection) armTimer() {
 }
 
 func (c *Connection) onTimeout() {
+	if c.stopped {
+		return
+	}
 	if c.sndUna == c.sndNext {
 		return // nothing outstanding
 	}
@@ -302,6 +318,9 @@ func (c *Connection) onAck(p *packet.Packet) {
 	// releases the carrying packet.
 	p.Payload = nil
 	c.putSeg(seg)
+	if c.stopped {
+		return // late ACKs must not re-arm the timer or send
+	}
 	if ack > c.sndUna {
 		// New data acknowledged. (Acked segments' window slots are
 		// simply left behind: slots are seq-tagged, so stale entries
@@ -401,6 +420,9 @@ func (c *Connection) onData(p *packet.Packet) {
 		}
 	} else if dataSeq > c.rcvNext {
 		c.oooWin[dataSeq&c.winMask] = dataSeq + 1
+	}
+	if c.stopped {
+		return // deliver silently; a stopped endpoint generates no ACKs
 	}
 	// Immediate cumulative ACK.
 	ackSeg := c.getSeg()

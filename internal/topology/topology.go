@@ -356,6 +356,7 @@ type Port struct {
 	lenByClass   [3]int        // current occupancy per service class
 	discarded    int64         // late discards (DiscardOffset)
 	txBits       int64
+	txPkts       int64 // packets that started transmission (incl. in flight)
 	util         *stats.RateMeter
 }
 
@@ -548,6 +549,26 @@ func (pt *Port) Utilization(now float64) float64 {
 // difference successive readings).
 func (pt *Port) TxBits() int64 { return pt.txBits }
 
+// TxPackets returns how many packets started transmission on this link,
+// including the one currently being serialized. Together with Counter,
+// Discarded and the queue occupancy it closes the port's conservation
+// identity: Total == Dropped + Discarded + TxPackets + queued.
+func (pt *Port) TxPackets() int64 { return pt.txPkts }
+
+// QueueLen returns the port's queued-packet count — the occupancy mirror
+// buffer admission uses, which tracks the scheduler's Len() packet for
+// packet unless the scheduler breaks its contract (the invariant oracle
+// checks exactly that).
+func (pt *Port) QueueLen() int { return pt.qlen }
+
+// QueueLenByClass returns the queued-packet count of one service class.
+func (pt *Port) QueueLenByClass(c packet.Class) int {
+	if int(c) >= len(pt.lenByClass) {
+		return 0
+	}
+	return pt.lenByClass[c]
+}
+
 // TotalUtilization returns lifetime transmitted bits divided by capacity
 // over elapsed time.
 func (pt *Port) TotalUtilization(now float64) float64 {
@@ -653,6 +674,7 @@ func (pt *Port) transmitNext() {
 	pt.busy = true
 	tx := float64(p.Size) / pt.bandwidth
 	pt.txBits += int64(p.Size)
+	pt.txPkts++
 	pt.util.Add(now, float64(p.Size))
 	if pt.OnTransmit != nil {
 		pt.OnTransmit(p, now)

@@ -235,3 +235,99 @@ func BenchmarkWriterAdd(b *testing.B) {
 		}
 	}
 }
+
+// failAfter errors every write once n bytes have passed through.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWriterSurfacesWriteErrors(t *testing.T) {
+	// The header and records are buffered, so a full disk shows up either
+	// on an Add that forces a flush or at Close. Both must report it.
+	w, err := NewWriter(&failAfter{n: headerLen + 3*recordLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 4096; i++ {
+		if lastErr = w.Add(Event{Kind: Inject, Flow: 1}); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = w.Close()
+	}
+	if lastErr == nil {
+		t.Fatal("neither Add nor Close reported the write error")
+	}
+}
+
+// failSeek wraps a file but refuses to seek, forcing the back-patch path
+// to fail after a successful flush.
+type failSeek struct{ io.Writer }
+
+func (failSeek) Seek(int64, int) (int64, error) { return 0, errors.New("pipe") }
+
+func TestCloseSurfacesSeekErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(failSeek{&buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(Event{Kind: Deliver, Flow: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the seek error")
+	}
+}
+
+func TestReadAllSurfacesTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Add(Event{Kind: Inject, Flow: 1, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5] // tear the last record
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.ReadAll()
+	if err == nil {
+		t.Fatal("truncated stream read without error")
+	}
+	if len(evs) != 2 {
+		t.Fatalf("want the 2 whole records back, got %d", len(evs))
+	}
+}
+
+func TestSummarizeIgnoresUnknownKinds(t *testing.T) {
+	s := Summarize([]Event{
+		{Kind: Kind(250), Flow: 9, Delay: 5},
+		{Kind: Drop, Flow: 9},
+	})
+	if s.Injected[9] != 0 || s.Delivered[9] != 0 || s.Dropped[9] != 1 {
+		t.Fatalf("unknown kind leaked into counts: %+v", s)
+	}
+	if _, ok := s.MeanDelay[9]; ok {
+		t.Fatal("mean delay computed for a flow with no deliveries")
+	}
+}
