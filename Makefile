@@ -1,9 +1,9 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile fuzz-smoke cover
+.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile fuzz-smoke serve-smoke cover
 
-ci: vet build examples test scenario-check bench-smoke fuzz-smoke
+ci: vet build examples test scenario-check bench-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzCompileScenario -fuzztime 5s ./internal/scenario
 	$(GO) run ./cmd/ispnsim -n 50 -seed 1 fuzz
+
+# Control-plane smoke: start a real `ispnsim serve`, drive a failover
+# session over HTTP (create, inject an outage, finish, stream the trace,
+# fetch the report), and verify clean SIGINT shutdown (docs/OPERATIONS.md).
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Aggregate test coverage with a per-function summary.
 cover:

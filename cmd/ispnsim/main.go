@@ -1,6 +1,7 @@
 // Command ispnsim regenerates every table and figure of Clark, Shenker &
-// Zhang (SIGCOMM 1992) plus the ablation studies in DESIGN.md, and runs
-// declarative .ispn scenario files (see docs/SCENARIO.md).
+// Zhang (SIGCOMM 1992) plus the ablation studies in DESIGN.md, runs
+// declarative .ispn scenario files (see docs/SCENARIO.md), and serves the
+// live HTTP/JSON control plane (see docs/SERVE.md).
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	ispnsim [-seed n] check <file.ispn>...
 //	ispnsim [-n cases] [-seed n] [-shards n] [-corpus dir] fuzz
 //	ispnsim scenarios [dir]
+//	ispnsim [-addr host:port] serve [dir]
 //
 // where <experiment> is one of: table1, table2, table3, figure1, all,
 // ablation-isolation, ablation-hops, admission, playback, discard.
@@ -20,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -28,40 +31,86 @@ import (
 	"ispn/internal/scenario"
 )
 
+// verbInfo describes one scenario verb for the generated usage text: its
+// argument shape, the global flags it honors, and a one-line summary. The
+// usage renderer sorts by name, so adding a verb here cannot leave the help
+// stale or misordered (main_test.go pins the table against the dispatcher).
+type verbInfo struct {
+	name    string
+	args    string
+	flags   string
+	summary string
+}
+
+var verbs = []verbInfo{
+	{"check", "<file.ispn>...", "-seed -horizon -shards",
+		"parse and validate scenario files without running"},
+	{"fuzz", "", "-n -seed -shards -corpus",
+		"generate -n random worlds, run each sequentially and sharded\nunder the invariant oracle, minimize failures"},
+	{"run", "<file.ispn>...", "-seed -horizon -shards -check -parallel -cpuprofile -memprofile",
+		"simulate scenario files (in parallel when several)"},
+	{"scenarios", "[dir]", "",
+		"list the scenario library (default dir: scenarios)"},
+	{"serve", "[dir]", "-addr",
+		"serve the live HTTP/JSON control API over the scenario library\nin dir (default: scenarios); see docs/SERVE.md"},
+}
+
+// experimentInfo pairs an experiment name with its summary; the list is the
+// display and execution order for `all` (paper order, then extensions).
+type experimentInfo struct {
+	name    string
+	summary string
+}
+
+var experimentList = []experimentInfo{
+	{"figure1", "paper Figure 1: topology and flow layout"},
+	{"table1", "paper Table 1: WFQ vs FIFO on one link"},
+	{"table2", "paper Table 2: WFQ vs FIFO vs FIFO+ over 1-4 hops"},
+	{"table3", "paper Table 3: unified scheduler, all service classes"},
+	{"ablation-isolation", "Section 5: isolation vs sharing with one bursty flow"},
+	{"ablation-hops", "Section 6: jitter growth with path length (1-8 hops)"},
+	{"admission", "Section 9: measurement-based vs worst-case admission"},
+	{"playback", "Sections 2-3: adaptive vs rigid play-back points"},
+	{"discard", "Section 10: jitter-offset-driven late discard"},
+	{"compare", "extension: the full scheduling zoo on one workload"},
+	{"sweep", "extension: delay vs utilization curve per discipline"},
+	{"dist", "extension: full delay distributions (ASCII histogram)"},
+	{"churn", "extension: dynamic call churn through admission control"},
+	{"mixed", "extension: partial FIFO+ rollout over the Table-2 chain"},
+	{"failover", "extension: link failure with vs without failure-aware reroute"},
+}
+
+// buildUsage renders the help text from the verb and experiment tables.
+func buildUsage() string {
+	var b strings.Builder
+	b.WriteString("usage: ispnsim [flags] <verb> [args]\n")
+	b.WriteString("       ispnsim [flags] <experiment>\n\nverbs:\n")
+	sorted := append([]verbInfo(nil), verbs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, v := range sorted {
+		head := v.name
+		if v.args != "" {
+			head += " " + v.args
+		}
+		lines := strings.Split(v.summary, "\n")
+		fmt.Fprintf(&b, "  %-21s %s\n", head, lines[0])
+		for _, l := range lines[1:] {
+			fmt.Fprintf(&b, "  %-21s %s\n", "", l)
+		}
+		if v.flags != "" {
+			fmt.Fprintf(&b, "  %-21s flags: %s\n", "", v.flags)
+		}
+	}
+	b.WriteString("\nexperiments (also: all = every row below):\n")
+	for _, e := range experimentList {
+		fmt.Fprintf(&b, "  %-21s %s\n", e.name, e.summary)
+	}
+	b.WriteString("\nflags:\n")
+	return b.String()
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: ispnsim [flags] <experiment>
-       ispnsim [flags] run <file.ispn>...
-       ispnsim [flags] check <file.ispn>...
-       ispnsim [flags] fuzz
-       ispnsim scenarios [dir]
-
-experiments:
-  table1              paper Table 1: WFQ vs FIFO on one link
-  table2              paper Table 2: WFQ vs FIFO vs FIFO+ over 1-4 hops
-  table3              paper Table 3: unified scheduler, all service classes
-  figure1             paper Figure 1: topology and flow layout
-  ablation-isolation  Section 5: isolation vs sharing with one bursty flow
-  ablation-hops       Section 6: jitter growth with path length (1-8 hops)
-  admission           Section 9: measurement-based vs worst-case admission
-  playback            Sections 2-3: adaptive vs rigid play-back points
-  discard             Section 10: jitter-offset-driven late discard
-  compare             extension: the full scheduling zoo on one workload
-  sweep               extension: delay vs utilization curve per discipline
-  dist                extension: full delay distributions (ASCII histogram)
-  churn               extension: dynamic call churn through admission control
-  mixed               extension: partial FIFO+ rollout over the Table-2 chain
-  failover            extension: link failure with vs without failure-aware reroute
-  all                 everything above
-
-scenarios:
-  run <file.ispn>...  simulate scenario files (in parallel when several)
-  check <file.ispn>.. parse and validate scenario files without running
-  fuzz                generate -n random worlds, run each sequentially and
-                      sharded under the invariant oracle, minimize failures
-  scenarios [dir]     list the scenario library (default dir: scenarios)
-
-flags:
-`)
+	fmt.Fprint(os.Stderr, buildUsage())
 	flag.PrintDefaults()
 }
 
@@ -90,9 +139,9 @@ type fuzzFlags struct {
 	corpus string
 }
 
-// scenarioMain handles the run/check/fuzz/scenarios verbs; it returns false
-// when name is a classic experiment instead.
-func scenarioMain(name string, args []string, seed int64, horizon float64, shards int, check bool, ff fuzzFlags) bool {
+// scenarioMain handles the run/check/fuzz/scenarios/serve verbs; it returns
+// false when name is a classic experiment instead.
+func scenarioMain(name string, args []string, seed int64, horizon float64, shards int, check bool, ff fuzzFlags, addr string) bool {
 	switch name {
 	case "run":
 		if len(args) == 0 {
@@ -139,6 +188,15 @@ func scenarioMain(name string, args []string, seed int64, horizon float64, shard
 				fmt.Printf("  seed %d: %s\n", f.Seed, f.Reason)
 				fmt.Printf("    repro: %s; replay: ispnsim fuzz -n 1 -seed %d\n", f.Path, f.Seed)
 			}
+			os.Exit(1)
+		}
+	case "serve":
+		dir := "scenarios"
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		if err := serveMain(addr, dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case "scenarios":
@@ -211,6 +269,7 @@ func main() {
 	corpus := flag.String("corpus", "testdata/fuzz", "fuzz: directory receiving minimized failing repros")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when done (pprof format)")
+	addr := flag.String("addr", "localhost:8080", "serve: listen address for the HTTP control API")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -223,7 +282,7 @@ func main() {
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
 	if scenarioMain(flag.Arg(0), flag.Args()[1:], *seed, *horizon, *shards, *check,
-		fuzzFlags{n: *n, corpus: *corpus}) {
+		fuzzFlags{n: *n, corpus: *corpus}, *addr) {
 		return
 	}
 	if flag.NArg() != 1 {
@@ -321,15 +380,11 @@ func main() {
 			})
 		},
 	}
-	order := []string{"figure1", "table1", "table2", "table3",
-		"ablation-isolation", "ablation-hops", "admission", "playback", "discard",
-		"compare", "sweep", "dist", "churn", "mixed", "failover"}
-
 	name := flag.Arg(0)
 	if name == "all" {
-		for _, n := range order {
-			fmt.Printf("=== %s ===\n", n)
-			experimentsByName[n]()
+		for _, e := range experimentList {
+			fmt.Printf("=== %s ===\n", e.name)
+			experimentsByName[e.name]()
 		}
 		return
 	}

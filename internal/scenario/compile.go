@@ -29,6 +29,11 @@ type Options struct {
 	// the network across that many parallel engines. Reports are
 	// bit-identical whatever the value.
 	Shards int
+	// Trace overrides the file's Run trace interval (simulated seconds)
+	// when positive, turning on per-interval trace rows for scenarios that
+	// never asked for them — the serve control plane uses this so a live
+	// session can always stream /trace.
+	Trace float64
 	// Check attaches the invariant oracle: per-delivery bound checks,
 	// periodic conservation/capacity sweeps, and a post-horizon leak check.
 	// The report grows an "invariants" section (and only then — unchecked
@@ -95,9 +100,19 @@ type Sim struct {
 	Percentiles []float64
 	Flows       []*SimFlow
 	TCPs        []*SimTCP
+	// Shards is the effective engine count of this compile (0 = the
+	// classic sequential engine).
+	Shards int
 
 	starts []func()
 	report *Report
+
+	// comp is the compiler that produced this Sim, retained so timeline
+	// verbs can be compiled against the live scenario after the fact
+	// (InjectEvents); started records that Start has scheduled the
+	// timeline and armed the sources.
+	comp    *compiler
+	started bool
 
 	// oracle is the invariant checker when Options.Check asked for one;
 	// draining gates deferred starts and post-horizon timeline events while
@@ -207,6 +222,21 @@ func (s *Sim) Run() *Report {
 	if s.report != nil {
 		return s.report
 	}
+	s.Start()
+	return s.Finish()
+}
+
+// Start schedules the timeline (scripted and injected events in order, churn
+// arrival processes, trace ticks), arms the oracle, and starts every source
+// and connection — the setup half of Run, without advancing the clock.
+// Stepped runs (the serve control plane) call Start once, then StepTo
+// repeatedly, then Finish; Run is exactly that sequence in one call, so the
+// two styles are bit-identical. Start is idempotent.
+func (s *Sim) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	// Timeline events are control events: on a sharded network they run at
 	// inter-window barriers on the control engine; sequentially the control
 	// key makes them sort before same-time data events — the same order.
@@ -232,19 +262,60 @@ func (s *Sim) Run() *Report {
 	for _, fn := range s.starts {
 		fn()
 	}
-	s.Net.Run(s.Horizon)
+}
+
+// Started reports whether Start has run.
+func (s *Sim) Started() bool { return s.started }
+
+// Now returns the simulation clock in seconds.
+func (s *Sim) Now() float64 { return s.Net.Engine().Now() }
+
+// Done reports whether the simulation has reached its horizon.
+func (s *Sim) Done() bool { return s.started && s.Now() >= s.Horizon }
+
+// StepTo advances the simulation to absolute time t, clamped to the horizon
+// (calling Start first if needed). Between calls every engine is parked at a
+// barrier, so callers may inspect live state and inject events — the safe
+// external intervention points the serve control plane uses. A run advanced
+// in steps is bit-identical to one advanced in a single Run call, sharded or
+// not.
+func (s *Sim) StepTo(t float64) {
+	s.Start()
+	if t > s.Horizon {
+		t = s.Horizon
+	}
+	now := s.Net.Engine().Now()
+	if t <= now {
+		return
+	}
+	s.Net.Run(t - now)
+}
+
+// Finish advances to the horizon if needed and builds the report (running
+// the oracle's post-horizon drain when checks are on). Subsequent calls
+// return the same report.
+func (s *Sim) Finish() *Report {
+	if s.report != nil {
+		return s.report
+	}
+	s.StepTo(s.Horizon)
 	s.report = s.buildReport()
 	if s.oracle != nil {
 		// The report above is frozen at the horizon; now stop all traffic,
 		// let in-flight packets finish, and ask the oracle whether every
 		// packet made it back to a free list.
 		s.quiesce()
-		s.oracle.CheckLeaks(eng.Now())
+		s.oracle.CheckLeaks(s.Net.Engine().Now())
 		t := s.oracle.Totals()
 		s.report.Check = &CheckReport{Deliveries: t.Deliveries, Sweeps: t.Sweeps, Violations: t.Violations}
 	}
 	return s.report
 }
+
+// Admission returns the runtime admission totals so far (scripted events,
+// churn arrivals, renegotiations) — a live snapshot of what the report's
+// admission section will print.
+func (s *Sim) Admission() AdmissionTotals { return s.adm }
 
 // quiesce stops every traffic generator and drains the network past the
 // horizon, so the leak checker can tell "still in flight" from "lost". The
@@ -281,6 +352,7 @@ type compiler struct {
 	seed        int64
 	horizon     float64
 	fileHorizon float64 // the file's own horizon, before Options overrides
+	minAt       float64 // injection floor: at blocks may not predate the live clock
 	percentiles []float64
 	traceDt     float64
 
@@ -540,6 +612,8 @@ func (c *compiler) compile() *Sim {
 		return nil
 	}
 	c.out.nextID = c.nextID
+	c.out.comp = c
+	c.out.Shards = c.effectiveShards()
 	return c.out
 }
 
@@ -590,6 +664,9 @@ func (c *compiler) runKnobs(d *Decl) {
 	c.fileHorizon = c.horizon
 	if c.opts.Horizon > 0 {
 		c.horizon = c.opts.Horizon
+	}
+	if c.opts.Trace > 0 {
+		c.traceDt = c.opts.Trace
 	}
 }
 

@@ -144,32 +144,7 @@ func (s *Sim) buildReport() *Report {
 		Percentiles: s.Percentiles,
 	}
 	for _, f := range s.Flows {
-		fr := FlowReport{
-			Name:     f.Name,
-			Service:  serviceName(f),
-			ArriveS:  f.At,
-			Rejected: f.Rejected,
-			Reason:   f.Reason,
-			Departed: f.Departed,
-			BoundMS:  -1,
-		}
-		if f.Flow != nil {
-			m := f.Flow.Meter()
-			fr.Hops = f.Flow.Hops()
-			fr.Delivered = f.Flow.Delivered()
-			fr.EdgeDropped = f.EdgeDropped()
-			fr.Reroutes = f.Flow.Rerouted()
-			fr.RerouteRefusals = f.Flow.RerouteRefused()
-			fr.BoundMS = f.Flow.Bound() * 1e3
-			fr.MeanMS = m.Mean() * 1e3
-			fr.MaxMS = m.Max() * 1e3
-			for _, p := range s.Percentiles {
-				fr.PctMS = append(fr.PctMS, m.Percentile(p)*1e3)
-			}
-		} else {
-			fr.PctMS = make([]float64, len(s.Percentiles))
-		}
-		r.Flows = append(r.Flows, fr)
+		r.Flows = append(r.Flows, s.flowReport(f))
 	}
 	for _, t := range s.TCPs {
 		st := t.Conn.Stats()
@@ -228,25 +203,120 @@ func (s *Sim) buildReport() *Report {
 	}
 	if tr := s.trace; tr != nil {
 		for k := 0; k < tr.nfull; k++ {
-			d := tr.delayBin(k)
-			row := TraceRow{
-				Start:     float64(k) * tr.dt,
-				End:       float64(k+1) * tr.dt,
-				Delivered: d.N,
-				MeanMS:    d.Mean() * 1e3,
-				MaxMS:     d.Max * 1e3,
-				Admitted:  tr.admitted.Bin(k).N,
-				Rejected:  tr.rejected.Bin(k).N,
-				Departed:  tr.departed.Bin(k).N,
-			}
-			if k < len(tr.util) {
-				row.Util = tr.util[k]
-			}
-			r.Trace = append(r.Trace, row)
+			r.Trace = append(r.Trace, tr.row(k))
 		}
 	}
 	r.Warnings = append(r.Warnings, s.warnings...)
 	return r
+}
+
+// flowReport summarizes one flow as of the current simulation clock — the
+// final report and the control plane's live /flows view build the same rows
+// through here, so they cannot drift apart.
+func (s *Sim) flowReport(f *SimFlow) FlowReport {
+	fr := FlowReport{
+		Name:     f.Name,
+		Service:  serviceName(f),
+		ArriveS:  f.At,
+		Rejected: f.Rejected,
+		Reason:   f.Reason,
+		Departed: f.Departed,
+		BoundMS:  -1,
+	}
+	if f.Flow != nil {
+		m := f.Flow.Meter()
+		fr.Hops = f.Flow.Hops()
+		fr.Delivered = f.Flow.Delivered()
+		fr.EdgeDropped = f.EdgeDropped()
+		fr.Reroutes = f.Flow.Rerouted()
+		fr.RerouteRefusals = f.Flow.RerouteRefused()
+		fr.BoundMS = f.Flow.Bound() * 1e3
+		fr.MeanMS = m.Mean() * 1e3
+		fr.MaxMS = m.Max() * 1e3
+		for _, p := range s.Percentiles {
+			fr.PctMS = append(fr.PctMS, m.Percentile(p)*1e3)
+		}
+	} else {
+		fr.PctMS = make([]float64, len(s.Percentiles))
+	}
+	return fr
+}
+
+// FlowReports returns a live flow summary — one FlowReport per scenario
+// flow, with delay statistics as of the current simulation clock.
+func (s *Sim) FlowReports() []FlowReport {
+	out := make([]FlowReport, 0, len(s.Flows))
+	for _, f := range s.Flows {
+		out = append(out, s.flowReport(f))
+	}
+	return out
+}
+
+// LinkSnapshot is one port's live state for the control plane: identity,
+// current scheduling pipeline, and counters as of the simulation clock.
+// Unlike the report's link table it includes links that have not carried
+// traffic yet — a live view must show the whole topology.
+type LinkSnapshot struct {
+	Name        string
+	Sched       string
+	Down        bool
+	Utilization float64 // lifetime fraction of capacity so far
+	QueueLen    int
+	TxPackets   int64
+	Drops       int64
+}
+
+// LinkSnapshots returns the live state of every link, in the deterministic
+// node/port registration order the report uses.
+func (s *Sim) LinkSnapshots() []LinkSnapshot {
+	now := s.Now()
+	var out []LinkSnapshot
+	for _, nd := range s.Net.Topology().Nodes() {
+		for _, pt := range nd.Ports() {
+			out = append(out, LinkSnapshot{
+				Name:        pt.Name(),
+				Sched:       schedName(s.Net.ProfileAt(pt)),
+				Down:        pt.Down(),
+				Utilization: pt.TotalUtilization(now),
+				QueueLen:    pt.QueueLen(),
+				TxPackets:   pt.TxPackets(),
+				Drops:       pt.Counter().Dropped,
+			})
+		}
+	}
+	return out
+}
+
+// TraceInterval returns the trace interval in seconds (0 when the scenario
+// has no trace — neither a Run(trace) knob nor an Options.Trace override).
+func (s *Sim) TraceInterval() float64 {
+	if s.trace == nil {
+		return 0
+	}
+	return s.trace.dt
+}
+
+// TraceRows returns the completed trace intervals with index >= from — the
+// same rows, computed the same way, that the final report prints, so a
+// streamed trace concatenates to exactly the report's trace section. An
+// interval is complete once the clock reaches its end.
+func (s *Sim) TraceRows(from int) []TraceRow {
+	tr := s.trace
+	if tr == nil {
+		return nil
+	}
+	done := int(s.Now()/tr.dt + 1e-9)
+	if done > tr.nfull {
+		done = tr.nfull
+	}
+	if from < 0 {
+		from = 0
+	}
+	var rows []TraceRow
+	for k := from; k < done; k++ {
+		rows = append(rows, tr.row(k))
+	}
+	return rows
 }
 
 // schedName renders a port profile for the link table: the pipeline kind,

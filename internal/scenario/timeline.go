@@ -70,6 +70,13 @@ func (c *compiler) eventBlock(b *EventBlock) {
 		c.failf(b.AtPos, "at %vs is beyond the %vs horizon; the block would never fire", at, c.fileHorizon)
 		return
 	}
+	// Injection into a running simulation cannot rewrite the past: the
+	// serve control plane sets minAt to the live clock (batch compiles
+	// leave it 0, where the at >= 0 check above already holds).
+	if at < c.minAt {
+		c.failf(b.AtPos, "at %vs is in the past; the simulation clock is already at %vs", at, c.minAt)
+		return
+	}
 	// Every element this block declares exists from `at` on; record that
 	// before compiling the statements so same-block chains resolve.
 	for _, st := range b.Stmts {
@@ -640,6 +647,26 @@ func newTraceRec(dt, horizon float64) *traceRec {
 		rejected: stats.NewTimeSeries(dt),
 		departed: stats.NewTimeSeries(dt),
 	}
+}
+
+// row assembles trace interval k — shared by the final report and the live
+// TraceRows stream, so the two are byte-identical row for row.
+func (tr *traceRec) row(k int) TraceRow {
+	d := tr.delayBin(k)
+	row := TraceRow{
+		Start:     float64(k) * tr.dt,
+		End:       float64(k+1) * tr.dt,
+		Delivered: d.N,
+		MeanMS:    d.Mean() * 1e3,
+		MaxMS:     d.Max * 1e3,
+		Admitted:  tr.admitted.Bin(k).N,
+		Rejected:  tr.rejected.Bin(k).N,
+		Departed:  tr.departed.Bin(k).N,
+	}
+	if k < len(tr.util) {
+		row.Util = tr.util[k]
+	}
+	return row
 }
 
 // delayBin merges the per-flow delay series for interval i. TimeBin fields

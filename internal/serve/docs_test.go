@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// curlExample is one runnable ```bash block from docs/SERVE.md.
+type curlExample struct {
+	method string
+	url    string
+	body   string
+	want   int // expected status from the "# -> NNN" annotation
+}
+
+var expectRe = regexp.MustCompile(`#\s*->\s*(\d{3})`)
+
+// parseCurl decodes the restricted curl dialect the docs use: -s/-N noise
+// flags, -X METHOD, -d 'body', --data-binary @- with a <<'EOF' heredoc, and
+// one URL. Backslash continuations are joined before tokenizing.
+func parseCurl(t *testing.T, block string) curlExample {
+	t.Helper()
+	ex := curlExample{method: "GET", want: 200}
+	lines := strings.Split(block, "\n")
+
+	// Separate the command (with continuations), the heredoc body, and the
+	// expectation comment.
+	var cmd strings.Builder
+	heredoc := false
+	var body []string
+	for _, line := range lines {
+		switch {
+		case heredoc:
+			if strings.TrimSpace(line) == "EOF" {
+				heredoc = false
+				continue
+			}
+			body = append(body, line)
+		case strings.HasPrefix(strings.TrimSpace(line), "#"):
+			if m := expectRe.FindStringSubmatch(line); m != nil {
+				ex.want, _ = strconv.Atoi(m[1])
+			}
+		default:
+			s := line
+			if i := strings.Index(s, "<<'EOF'"); i >= 0 {
+				s = s[:i]
+				heredoc = true
+			}
+			if strings.HasSuffix(s, "\\") {
+				s = s[:len(s)-1]
+			}
+			cmd.WriteString(s)
+			cmd.WriteString(" ")
+		}
+	}
+	if len(body) > 0 {
+		ex.body = strings.Join(body, "\n") + "\n"
+	}
+
+	toks := tokenizeShell(t, cmd.String())
+	if len(toks) == 0 || toks[0] != "curl" {
+		t.Fatalf("example does not start with curl: %q", block)
+	}
+	for i := 1; i < len(toks); i++ {
+		switch tok := toks[i]; {
+		case tok == "-X":
+			i++
+			ex.method = toks[i]
+		case tok == "-d" || tok == "--data-binary":
+			i++
+			if toks[i] != "@-" { // @- = heredoc, already captured
+				ex.body = toks[i]
+			}
+			if ex.method == "GET" {
+				ex.method = "POST"
+			}
+		case strings.HasPrefix(tok, "-"):
+			// -s, -N, -sN: output shaping, irrelevant here.
+		case strings.Contains(tok, "://"):
+			ex.url = tok
+		default:
+			t.Fatalf("unexpected curl token %q in %q", tok, block)
+		}
+	}
+	if ex.url == "" {
+		t.Fatalf("no URL in curl example: %q", block)
+	}
+	return ex
+}
+
+// tokenizeShell splits on spaces, honoring single quotes.
+func tokenizeShell(t *testing.T, s string) []string {
+	t.Helper()
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			if !inQuote && cur.Len() == 0 {
+				toks = append(toks, "") // '' = empty token
+			}
+		case r == ' ' || r == '\t':
+			if inQuote {
+				cur.WriteRune(r)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		t.Fatalf("unterminated quote in %q", s)
+	}
+	flush()
+	return toks
+}
+
+// TestServeDocExamplesRun executes every ```bash curl example in
+// docs/SERVE.md, in document order, against a live test server, and asserts
+// the response status each example advertises. The doc is written as one
+// coherent session lifecycle, so ids like s1 resolve.
+func TestServeDocExamplesRun(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SERVE.md")
+	if err != nil {
+		t.Fatalf("read docs/SERVE.md: %v", err)
+	}
+	m := NewManager(Config{ScenarioDir: "../../scenarios"})
+	defer m.Close()
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	parts := strings.Split(string(data), "```")
+	ran := 0
+	for i := 1; i < len(parts); i += 2 {
+		block, ok := strings.CutPrefix(parts[i], "bash\n")
+		if !ok || !strings.Contains(block, "curl") {
+			continue
+		}
+		ran++
+		ex := parseCurl(t, block)
+		url := strings.Replace(ex.url, "http://localhost:8080", ts.URL, 1)
+		if url == ex.url {
+			t.Fatalf("example %d URL %q is not on http://localhost:8080", ran, ex.url)
+		}
+		var rd io.Reader
+		if ex.body != "" {
+			rd = strings.NewReader(ex.body)
+		}
+		req, err := http.NewRequest(ex.method, url, rd)
+		if err != nil {
+			t.Fatalf("example %d: %v", ran, err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("example %d (%s %s): %v", ran, ex.method, ex.url, err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != ex.want {
+			t.Fatalf("example %d: %s %s = %d, want %d\nbody: %s\nexample:\n%s",
+				ran, ex.method, ex.url, resp.StatusCode, ex.want, got, block)
+		}
+	}
+	if ran < 12 {
+		t.Fatalf("ran %d curl examples from docs/SERVE.md, want >= 12", ran)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"ispn/internal/playback"
 	"ispn/internal/scenario"
 	"ispn/internal/sched"
+	"ispn/internal/serve"
 	"ispn/internal/sim"
 	"ispn/internal/source"
 	"ispn/internal/stats"
@@ -245,3 +246,20 @@ func CompileScenario(f *ScenarioFile, opts ScenarioOptions) (*ScenarioSim, error
 func LoadScenario(path string, opts ScenarioOptions) (*ScenarioSim, error) {
 	return scenario.Load(path, opts)
 }
+
+// Live control plane (`ispnsim serve`; API reference in docs/SERVE.md,
+// operations guide in docs/OPERATIONS.md). A ServeManager hosts concurrent
+// sessions — long-running simulations driven over HTTP/JSON, with .ispn
+// timeline events injectable mid-run — and its Handler mounts the whole API
+// on any mux.
+type (
+	// ServeManager owns the session table of a control-plane server.
+	ServeManager = serve.Manager
+	// ServeConfig sets the scenario library directory and session cap.
+	ServeConfig = serve.Config
+	// ServeCreateRequest describes one session to create.
+	ServeCreateRequest = serve.CreateRequest
+)
+
+// NewServeManager builds a session manager for the control-plane API.
+func NewServeManager(cfg ServeConfig) *ServeManager { return serve.NewManager(cfg) }
