@@ -43,11 +43,12 @@ bench:
 # The bench run lands in a temp file first (not a pipe) so a failing
 # benchmark fails the target instead of vanishing behind benchjson's status.
 bench-json:
-	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|ShardedThroughput|FacadeSmallNetwork|MixedDeployment|Failover' \
+	@$(GO) test -run '^$$' -bench 'SimulatorThroughput|ShardedThroughput|FacadeSmallNetwork|MixedDeployment|Failover|MillionFlows|CacheShowdown' \
 		-benchtime 20x -benchmem . > BENCH.out \
 		|| { cat BENCH.out; rm -f BENCH.out; exit 1; }
 	@$(GO) run ./cmd/benchjson -sha $(SHA) -out BENCH_$(SHA).json \
-		-gate-zero-allocs FacadeSmallNetwork < BENCH.out \
+		-gate-zero-allocs FacadeSmallNetwork \
+		-gate-metric-max 'MillionFlows:bytes/flow:200' < BENCH.out \
 		|| { rm -f BENCH.out; exit 1; }
 	@rm -f BENCH.out
 

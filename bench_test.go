@@ -9,10 +9,12 @@ package ispn_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ispn"
 	"ispn/internal/experiments"
+	"ispn/internal/routing"
 )
 
 const benchSimSeconds = 60
@@ -266,6 +268,97 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(delivered)/float64(b.N), "pkts/op")
 		})
+	}
+}
+
+// BenchmarkMillionFlows holds one million admitted predicted flows in a
+// single simulation and measures what each one costs: members are spread
+// over ~2000 (class, path) aggregates on a 32-leaf star, so the per-flow
+// state is one inline policer slot plus a 16-byte handle — the carrier
+// flows, schedulers and interned paths amortize to noise. The benchmark
+// reports resident bytes/flow (CI gates this at 200 via benchjson) and
+// times the admit+release cycle at full occupancy, which exercises the
+// aggregate's free-slot reuse rather than ever-growing member arrays.
+func BenchmarkMillionFlows(b *testing.B) {
+	const (
+		leaves  = 32
+		members = 1_000_000
+	)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	net := ispn.New(ispn.Config{Seed: 1992, LinkRate: 10e9})
+	net.AddSwitch("hub")
+	names := make([]string, leaves)
+	for i := range names {
+		names[i] = fmt.Sprintf("l%d", i)
+		net.AddSwitch(names[i])
+		net.Connect(names[i], "hub")
+		net.Connect("hub", names[i])
+	}
+	paths := make([][]string, 0, leaves*(leaves-1))
+	for i := 0; i < leaves; i++ {
+		for j := 0; j < leaves; j++ {
+			if i != j {
+				paths = append(paths, []string{names[i], "hub", names[j]})
+			}
+		}
+	}
+	spec := ispn.PredictedSpec{TokenRate: 100, BucketBits: 1000, Delay: 0.5}
+	handles := make([]ispn.Member, 0, members)
+	for i := 0; i < members; i++ {
+		m, err := net.RequestPredictedMember(paths[i%len(paths)], uint8(i%2), spec)
+		if err != nil {
+			b.Fatalf("member %d refused: %v", i, err)
+		}
+		handles = append(handles, m)
+	}
+	if carriers := len(net.Flows()); carriers >= members/100 {
+		b.Fatalf("aggregation failed: %d carrier flows for %d members", carriers, members)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perFlow := float64(after.HeapAlloc-before.HeapAlloc) / float64(len(handles))
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := net.RequestPredictedMember(paths[i%len(paths)], uint8(i%2), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+	b.StopTimer()
+	b.ReportMetric(perFlow, "bytes/flow")
+	b.ReportMetric(float64(len(handles)), "flows")
+	if perFlow > 200 {
+		b.Fatalf("resident state is %.1f bytes/flow, budget is 200", perFlow)
+	}
+	runtime.KeepAlive(handles)
+}
+
+// BenchmarkCacheShowdown times the DEC-TR-592 route-cache comparison (all
+// four eviction schemes on the identical hot-spot churn) and publishes the
+// per-scheme hit rates to the CI artifact; the run fails if the expected
+// ordering — LRU over FIFO over random — ever inverts.
+func BenchmarkCacheShowdown(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells := experiments.CacheShowdown(experiments.RunConfig{Duration: 120, Seed: 9})
+		if i == b.N-1 {
+			rate := map[string]float64{}
+			for _, c := range cells {
+				rate[c.Scheme] = c.HitRate
+				b.ReportMetric(100*c.HitRate, c.Scheme+"-hit-%")
+			}
+			lru, fifo, rnd := rate[routing.CacheLRU], rate[routing.CacheFIFO], rate[routing.CacheRandom]
+			if lru < fifo || fifo < rnd {
+				b.Fatalf("eviction ordering inverted: lru %.3f, fifo %.3f, random %.3f", lru, fifo, rnd)
+			}
+		}
 	}
 }
 

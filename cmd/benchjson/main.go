@@ -1,14 +1,19 @@
 // Command benchjson turns `go test -bench -benchmem` output into a small
-// JSON document for CI artifact upload, and optionally gates on allocation
-// regressions. The repo's zero-alloc facade path (BenchmarkFacadeSmallNetwork)
-// must stay at 0 allocs/op; CI fails the build the moment it regresses.
+// JSON document for CI artifact upload, and optionally gates on regressions.
+// The repo's zero-alloc facade path (BenchmarkFacadeSmallNetwork) must stay
+// at 0 allocs/op, and the million-flow benchmark's resident-state metric
+// (bytes/flow) has a hard ceiling; CI fails the build the moment either
+// regresses.
 //
 // Usage:
 //
 //	go test -run '^$' -bench ... -benchmem . | benchjson \
-//	    -sha abc1234 -out BENCH_abc1234.json -gate-zero-allocs FacadeSmallNetwork
+//	    -sha abc1234 -out BENCH_abc1234.json -gate-zero-allocs FacadeSmallNetwork \
+//	    -gate-metric-max 'MillionFlows:bytes/flow:200'
 //
-// The bench output is also echoed to stdout so CI logs keep the raw numbers.
+// Custom b.ReportMetric units ("bytes/flow", "lru-hit-%") land in each
+// benchmark's "metrics" map. The bench output is also echoed to stdout so CI
+// logs keep the raw numbers.
 package main
 
 import (
@@ -30,6 +35,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the emitted artifact.
@@ -56,9 +63,41 @@ func parseMetrics(s string, r *Result) error {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	return nil
+}
+
+// metricGate is one parsed -gate-metric-max entry: every benchmark whose
+// name contains Bench must report the Unit metric at or under Max.
+type metricGate struct {
+	Bench string
+	Unit  string
+	Max   float64
+}
+
+func parseMetricGates(s string) ([]metricGate, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var gates []metricGate
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad gate %q, want NameSubstring:unit:max", entry)
+		}
+		max, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad gate limit %q: %v", parts[2], err)
+		}
+		gates = append(gates, metricGate{Bench: parts[0], Unit: parts[1], Max: max})
+	}
+	return gates, nil
 }
 
 func main() {
@@ -66,7 +105,15 @@ func main() {
 	sha := flag.String("sha", "dev", "commit SHA recorded in the document")
 	gate := flag.String("gate-zero-allocs", "",
 		"substring of benchmark names that must report 0 allocs/op (empty = no gate)")
+	gateMax := flag.String("gate-metric-max", "",
+		"comma-separated NameSubstring:unit:max entries; matching benchmarks must report the metric at or under max")
 	flag.Parse()
+
+	gates, err := parseMetricGates(*gateMax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	doc := Document{SHA: *sha, GoVersion: runtime.Version()}
 	sc := bufio.NewScanner(os.Stdin)
@@ -124,5 +171,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("benchjson: alloc gate %q OK (%d benchmark(s) at 0 allocs/op)\n", *gate, gated)
+	}
+
+	for _, g := range gates {
+		gated := 0
+		for _, r := range doc.Benchmarks {
+			if !strings.Contains(r.Name, g.Bench) {
+				continue
+			}
+			gated++
+			v, ok := r.Metrics[g.Unit]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: %s reports no %q metric\n", r.Name, g.Unit)
+				os.Exit(1)
+			}
+			if v > g.Max {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: METRIC REGRESSION: %s reports %.2f %s, the ceiling is %.2f\n",
+					r.Name, v, g.Unit, g.Max)
+				os.Exit(1)
+			}
+		}
+		if gated == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: metric gate %q matched no benchmark\n", g.Bench)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: metric gate %s %s <= %g OK (%d benchmark(s))\n", g.Bench, g.Unit, g.Max, gated)
 	}
 }

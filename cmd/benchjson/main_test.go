@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseMetricsCustomUnits(t *testing.T) {
+	var r Result
+	err := parseMetrics("13053 ns/op 81.89 bytes/flow 1000000 flows 32 B/op 2 allocs/op", &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerOp != 13053 || r.BytesPerOp != 32 || r.AllocsPerOp != 2 {
+		t.Fatalf("standard metrics misparsed: %+v", r)
+	}
+	if r.Metrics["bytes/flow"] != 81.89 || r.Metrics["flows"] != 1000000 {
+		t.Fatalf("custom metrics misparsed: %+v", r.Metrics)
+	}
+}
+
+func TestParseMetricGates(t *testing.T) {
+	gates, err := parseMetricGates("MillionFlows:bytes/flow:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metricGate{Bench: "MillionFlows", Unit: "bytes/flow", Max: 200}
+	if len(gates) != 1 || gates[0] != want {
+		t.Fatalf("gates = %+v, want [%+v]", gates, want)
+	}
+	if _, err := parseMetricGates("missing-limit"); err == nil {
+		t.Fatal("malformed gate accepted")
+	}
+	if _, err := parseMetricGates("a:b:notanumber"); err == nil {
+		t.Fatal("non-numeric limit accepted")
+	}
+	if gates, err := parseMetricGates(""); err != nil || gates != nil {
+		t.Fatalf("empty spec should be a no-op, got %+v, %v", gates, err)
+	}
+}

@@ -78,6 +78,7 @@ var experimentList = []experimentInfo{
 	{"churn", "extension: dynamic call churn through admission control"},
 	{"mixed", "extension: partial FIFO+ rollout over the Table-2 chain"},
 	{"failover", "extension: link failure with vs without failure-aware reroute"},
+	{"cache", "extension: route-cache eviction schemes under hot-spot churn"},
 }
 
 // buildUsage renders the help text from the verb and experiment tables.
@@ -366,6 +367,11 @@ func main() {
 		"failover": func() {
 			run("failover", func() string {
 				return experiments.FormatFailover(experiments.Failover(cfg))
+			})
+		},
+		"cache": func() {
+			run("cache", func() string {
+				return experiments.FormatCacheShowdown(experiments.CacheShowdown(cfg))
 			})
 		},
 		"dist": func() {

@@ -131,7 +131,7 @@ func TestGuaranteedDelayWithinPGBound(t *testing.T) {
 		}
 		src := source.NewMarkov(source.MarkovConfig{
 			FlowID: id, SizeBits: 1000, PeakRate: 2 * A, AvgRate: A, Burst: 5,
-			RNG: n.RNG(f.Path[0] + string(rune('a'+i))),
+			RNG: n.RNG(f.Path()[0] + string(rune('a'+i))),
 		})
 		src.Start(n.Engine(), func(p *packet.Packet) { f.Inject(p) })
 	}

@@ -6,6 +6,7 @@ import (
 
 	"ispn/internal/admission"
 	"ispn/internal/packet"
+	"ispn/internal/routing"
 	"ispn/internal/sched"
 	"ispn/internal/sim"
 	"ispn/internal/stats"
@@ -170,6 +171,19 @@ type Network struct {
 	// (admission already passed). The invariant oracle attaches here; nil
 	// costs registerFlow a single pointer compare.
 	flowHook func(*Flow)
+
+	// intern stores every distinct path once; flows hold PathIDs into it
+	// (see intern.go).
+	intern pathTable
+
+	// Predicted-flow aggregation state (see aggregate.go) and the
+	// destination-locality route cache (see routecache wiring in
+	// reroute.go); both nil/empty until used.
+	aggs       map[aggKey]*Aggregate
+	aggOrder   []*Aggregate
+	routeCache *routing.Cache
+	routeGraph *routing.Graph // persistent graph for the active cost
+	carrierSeq uint32
 }
 
 // New creates an empty ISPN.
@@ -267,6 +281,7 @@ func (n *Network) ConnectWith(from, to string, rate, propDelay float64, prof *sc
 	n.pipes = append(n.pipes, pipe)
 	n.profs = append(n.profs, effective)
 	n.admit = append(n.admit, nil)
+	n.invalidateRoutes() // a new link may shorten cached routes
 	return port, nil
 }
 
@@ -330,6 +345,7 @@ func (n *Network) SetLink(from, to string, rate, propDelay float64) error {
 		}
 		pt.SetPropDelay(propDelay)
 	}
+	n.invalidateRoutes() // rate and delay feed the delay/load costs
 	return nil
 }
 
@@ -371,7 +387,7 @@ func (n *Network) SetLinkProfile(from, to string, prof sched.Profile) error {
 			if f.Class != packet.Guaranteed {
 				continue
 			}
-			for _, fp := range n.topo.PathPorts(f.Path) {
+			for _, fp := range n.portsOf(f) {
 				if fp == pt {
 					pipe.AddGuaranteed(f.ID, f.gspec.ClockRate)
 					break
@@ -386,6 +402,7 @@ func (n *Network) SetLinkProfile(from, to string, prof sched.Profile) error {
 		c.SetQuota(1 - prof.Quota())
 		c.SetClassTargets(prof.ClassTargets)
 	}
+	n.invalidateRoutes() // the profile's max packet size feeds the delay cost
 	return nil
 }
 
@@ -416,6 +433,9 @@ func (n *Network) FailLink(from, to string) error {
 		return err
 	}
 	pt.SetDown(true)
+	// Any cached route may cross the failed link; clear before the reroute
+	// sweep so detours are computed fresh.
+	n.invalidateRoutes()
 	if n.routing.Auto {
 		n.rerouteAroundPort(pt)
 	}
@@ -432,6 +452,7 @@ func (n *Network) RestoreLink(from, to string) error {
 		return err
 	}
 	pt.SetDown(false)
+	n.invalidateRoutes() // the restored link may shorten cached routes
 	return nil
 }
 
@@ -464,9 +485,14 @@ func (n *Network) Run(d float64) {
 // Flow is an admitted flow: its route is installed, reservations (if
 // guaranteed) are in place, edge policing (if predicted) is armed, and a
 // meter records end-to-end queueing delays at the sink.
+//
+// Per-flow state is deliberately lean: the hop sequence lives once in the
+// network's intern table (PathID names it), and the delay recorder is
+// allocated lazily on first delivery, so a flow that has not carried
+// traffic yet costs tens of bytes beyond the struct itself.
 type Flow struct {
 	ID       uint32
-	Path     []string
+	PathID   PathID
 	Class    packet.Class
 	Priority uint8
 
@@ -504,8 +530,12 @@ type Flow struct {
 	checkTap func(p *packet.Packet, queueing float64)
 }
 
+// Path returns the flow's hop sequence — the interned slice, shared by
+// every flow on this route. Callers must not mutate it.
+func (f *Flow) Path() []string { return f.net.intern.paths[f.PathID] }
+
 // Hops returns the number of inter-switch links on the flow's path.
-func (f *Flow) Hops() int { return len(f.Path) - 1 }
+func (f *Flow) Hops() int { return len(f.Path()) - 1 }
 
 // Bound returns the a priori delay bound advertised to this flow: the
 // Parekh-Gallager bound for guaranteed flows, the sum of per-switch class
@@ -513,10 +543,23 @@ func (f *Flow) Hops() int { return len(f.Path) - 1 }
 func (f *Flow) Bound() float64 { return f.bound }
 
 // Meter returns the recorder of end-to-end queueing delays (seconds).
-func (f *Flow) Meter() *stats.Recorder { return f.meter }
+// Recorders are allocated lazily — on first delivery, or here on first
+// inspection — so idle flows never pay for one; an empty recorder reports
+// the same zeros a flow with no deliveries always did.
+func (f *Flow) Meter() *stats.Recorder {
+	if f.meter == nil {
+		f.meter = stats.NewRecorder()
+	}
+	return f.meter
+}
 
 // Delivered returns packets delivered to the sink.
 func (f *Flow) Delivered() int64 { return f.delivered }
+
+// DeclaredRate returns the flow's current declared rate: the guaranteed
+// clock rate, the predicted token rate, or — for an aggregation carrier —
+// the sum of its members' token rates. Datagram flows declare 0.
+func (f *Flow) DeclaredRate() float64 { return f.declaredRate }
 
 // PolicerStats returns edge-enforcement counts (predicted flows only).
 func (f *Flow) PolicerStats() stats.Counter { return f.policerCnt }
@@ -556,7 +599,8 @@ func (f *Flow) IngressPool() *packet.Pool { return f.ingress.Pool() }
 // EgressEngine returns the engine of the flow's last switch, whose clock
 // timestamps deliveries at the sink.
 func (f *Flow) EgressEngine() *sim.Engine {
-	return f.net.topo.Node(f.Path[len(f.Path)-1]).Engine()
+	p := f.Path()
+	return f.net.topo.Node(p[len(p)-1]).Engine()
 }
 
 // Inject polices (predicted service), stamps service fields and injects the
@@ -582,12 +626,12 @@ func (f *Flow) Inject(p *packet.Packet) bool {
 }
 
 func (n *Network) registerFlow(f *Flow) {
-	n.topo.InstallRoute(f.ID, f.Path)
-	f.ingress = n.topo.Node(f.Path[0])
+	path := f.Path()
+	n.topo.InstallRoute(f.ID, path)
+	f.ingress = n.topo.Node(path[0])
 	f.eng = f.ingress.Engine()
-	f.fixedDelay = n.topo.FixedDelay(f.Path, n.cfg.MaxPacketBits)
-	f.meter = stats.NewRecorder()
-	last := n.topo.Node(f.Path[len(f.Path)-1])
+	f.fixedDelay = n.topo.FixedDelay(path, n.cfg.MaxPacketBits)
+	last := n.topo.Node(path[len(path)-1])
 	// Delivery timestamps come off the last switch's engine: under
 	// sharding the network engine's clock sits at the previous barrier
 	// while the egress shard's clock is the packet's true arrival time.
@@ -596,6 +640,9 @@ func (n *Network) registerFlow(f *Flow) {
 		q := sinkEng.Now() - p.CreatedAt - f.fixedDelay
 		if q < 0 {
 			q = 0
+		}
+		if f.meter == nil {
+			f.meter = stats.NewRecorder()
 		}
 		f.meter.Add(q)
 		f.delivered++
@@ -724,7 +771,8 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 	if _, dup := n.flows[id]; dup {
 		return nil, fmt.Errorf("core: flow %d already exists", id)
 	}
-	ports := n.topo.PathPorts(path)
+	pid := n.InternPath(path)
+	ports := n.pathPortsByID(pid)
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: guaranteed flow needs at least one link")
 	}
@@ -749,7 +797,7 @@ func (n *Network) RequestGuaranteed(id uint32, path []string, spec GuaranteedSpe
 	}
 	f := &Flow{
 		ID:           id,
-		Path:         append([]string(nil), path...),
+		PathID:       pid,
 		Class:        packet.Guaranteed,
 		net:          n,
 		bound:        n.pgBound(spec, ports),
@@ -778,7 +826,7 @@ func (n *Network) RequestPredicted(id uint32, path []string, spec PredictedSpec)
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: predicted flow needs at least one link")
 	}
-	class := n.classFor(path, spec.Delay)
+	class := n.classForPorts(ports, spec.Delay)
 	if class < 0 {
 		worst := n.pathClasses(ports) - 1
 		return nil, fmt.Errorf("core: no predicted class can meet delay target %v over %d hops (largest advertised %v)",
@@ -797,7 +845,8 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 	if _, dup := n.flows[id]; dup {
 		return nil, fmt.Errorf("core: flow %d already exists", id)
 	}
-	ports := n.topo.PathPorts(path)
+	pid := n.InternPath(path)
+	ports := n.pathPortsByID(pid)
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: predicted flow needs at least one link")
 	}
@@ -816,7 +865,7 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 	n.notePredicted(ports, spec)
 	f := &Flow{
 		ID:           id,
-		Path:         append([]string(nil), path...),
+		PathID:       pid,
 		Class:        packet.Predicted,
 		Priority:     class,
 		net:          n,
@@ -835,7 +884,10 @@ func (n *Network) RequestPredictedClass(id uint32, path []string, class uint8, s
 // classFor returns the lowest-priority (cheapest) class whose advertised
 // bound still meets the delay target, or -1.
 func (n *Network) classFor(path []string, target float64) int {
-	ports := n.topo.PathPorts(path)
+	return n.classForPorts(n.topo.PathPorts(path), target)
+}
+
+func (n *Network) classForPorts(ports []*topology.Port, target float64) int {
 	for class := n.pathClasses(ports) - 1; class >= 0; class-- {
 		if n.advertisedBound(ports, class) <= target {
 			return class
@@ -850,11 +902,11 @@ func (n *Network) AddDatagramFlow(id uint32, path []string) (*Flow, error) {
 		return nil, fmt.Errorf("core: flow %d already exists", id)
 	}
 	f := &Flow{
-		ID:    id,
-		Path:  append([]string(nil), path...),
-		Class: packet.Datagram,
-		net:   n,
-		bound: -1,
+		ID:     id,
+		PathID: n.InternPath(path),
+		Class:  packet.Datagram,
+		net:    n,
+		bound:  -1,
 	}
 	n.registerFlow(f)
 	return f, nil
@@ -871,7 +923,7 @@ func (n *Network) Release(id uint32) {
 	if !ok {
 		return
 	}
-	ports := n.topo.PathPorts(f.Path)
+	ports := n.portsOf(f)
 	if f.Class == packet.Guaranteed {
 		for _, pt := range ports {
 			n.pipe(pt).RemoveGuaranteed(id)
@@ -946,7 +998,7 @@ func (n *Network) RenegotiateGuaranteed(id uint32, spec GuaranteedSpec) error {
 	if f.Class != packet.Guaranteed {
 		return fmt.Errorf("core: flow %d is not guaranteed", id)
 	}
-	ports := n.topo.PathPorts(f.Path)
+	ports := n.portsOf(f)
 	delta := spec.ClockRate - f.gspec.ClockRate
 	token := n.nextLedgerToken()
 	if delta > 0 {
@@ -1000,7 +1052,7 @@ func (n *Network) RenegotiatePredicted(id uint32, spec PredictedSpec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	ports := n.topo.PathPorts(f.Path)
+	ports := n.portsOf(f)
 	delta := spec.TokenRate - f.pspec.TokenRate
 	if n.cfg.AdmissionControl {
 		if delta > 0 || spec.BucketBits > f.pspec.BucketBits {

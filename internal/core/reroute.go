@@ -77,7 +77,9 @@ func (rc RoutingConfig) normalize() (RoutingConfig, error) {
 }
 
 // SetRouting configures (or reconfigures) rerouting. The zero config
-// disables Auto and restores the defaults.
+// disables Auto and restores the defaults. Reconfiguration drops the
+// persistent routing graph (the cost function may have changed) and
+// invalidates the route cache.
 func (n *Network) SetRouting(rc RoutingConfig) error {
 	norm, err := rc.normalize()
 	if err != nil {
@@ -85,7 +87,47 @@ func (n *Network) SetRouting(rc RoutingConfig) error {
 	}
 	n.routing = norm
 	n.routingSet = true
+	n.routeGraph = nil
+	n.invalidateRoutes()
 	return nil
+}
+
+// SetRouteCache installs (or, with nil, removes) a destination-locality
+// route cache in front of shortest-path computation. The core invalidates it
+// on every event that can change a shortest path — FailLink, RestoreLink,
+// SetLink, SetLinkProfile, SetRouting, new links — so cached and uncached
+// runs stay byte-identical. Load-cost lookups bypass the cache: that cost
+// moves with traffic, not with events.
+func (n *Network) SetRouteCache(c *routing.Cache) { n.routeCache = c }
+
+// RouteCache returns the installed route cache, or nil.
+func (n *Network) RouteCache() *routing.Cache { return n.routeCache }
+
+// invalidateRoutes clears the route cache after a topology or routing
+// change. The persistent graph needs no reset for topology events — it
+// reads live Down flags and link parameters on every search.
+func (n *Network) invalidateRoutes() {
+	if n.routeCache != nil {
+		n.routeCache.Invalidate()
+	}
+}
+
+// LookupRoute returns the minimum-cost path from -> to under the active
+// routing cost (nil when none exists), consulting the route cache when one
+// is installed. This is the lookup scenario-driven arrivals use to resolve
+// destination-addressed traffic onto paths.
+func (n *Network) LookupRoute(from, to string) []string {
+	cost := n.Routing().Cost
+	if n.routeCache == nil || cost == routing.CostNameLoad {
+		p, _ := n.graph().ShortestPath(from, to, n.eng.Now(), nil)
+		return p
+	}
+	if p, ok := n.routeCache.Lookup(from, to, cost); ok {
+		return p
+	}
+	p, _ := n.graph().ShortestPath(from, to, n.eng.Now(), nil)
+	n.routeCache.Insert(from, to, cost, p)
+	return p
 }
 
 // Routing returns the active routing configuration (normalized; Auto false
@@ -103,10 +145,16 @@ func (n *Network) RerouteTotals() (reroutes, refusals int64) {
 	return n.reroutes, n.rerouteRefusals
 }
 
-// graph builds the routing view for the active cost function. The delay
-// and load costs price each hop with its own profile's maximum packet size,
-// matching the per-port sums the bound math uses.
+// graph returns the persistent routing view for the active cost function,
+// building it on first use (SetRouting drops it, since the cost may change).
+// The delay and load costs price each hop with its own profile's maximum
+// packet size, matching the per-port sums the bound math uses; paths are
+// still computed against the live topology at call time, so the graph
+// survives topology events.
 func (n *Network) graph() *routing.Graph {
+	if n.routeGraph != nil {
+		return n.routeGraph
+	}
 	perPort := func(pt *topology.Port) int { return n.profs[pt.Index()].MaxPacketBits }
 	var cost routing.Cost
 	switch n.Routing().Cost {
@@ -117,7 +165,8 @@ func (n *Network) graph() *routing.Graph {
 	default:
 		cost = routing.CostHops
 	}
-	return routing.NewGraph(n.topo, cost)
+	n.routeGraph = routing.NewGraph(n.topo, cost)
+	return n.routeGraph
 }
 
 // chooser computes new paths for one reroute sweep, caching per (src, dst):
@@ -144,7 +193,8 @@ func (n *Network) newChooser() *chooser {
 
 // pathFor picks the flow's new path under the active policy, or nil.
 func (c *chooser) pathFor(f *Flow) []string {
-	key := [2]string{f.Path[0], f.Path[len(f.Path)-1]}
+	p := f.Path()
+	key := [2]string{p[0], p[len(p)-1]}
 	if c.n.Routing().Policy == PolicySpread {
 		alts, ok := c.alts[key]
 		if !ok {
@@ -158,7 +208,7 @@ func (c *chooser) pathFor(f *Flow) []string {
 	}
 	p, ok := c.shortest[key]
 	if !ok {
-		p, _ = c.g.ShortestPath(key[0], key[1], c.now, nil)
+		p = c.n.LookupRoute(key[0], key[1])
 		c.shortest[key] = p
 	}
 	return p
@@ -211,17 +261,19 @@ func (n *Network) RerouteFlow(id uint32) error {
 // changed path (a flow already on its best path is neither moved nor
 // refused).
 func (n *Network) rerouteFlow(f *Flow, ch *chooser) (moved bool, err error) {
+	oldPath := f.Path()
 	newPath := ch.pathFor(f)
 	if newPath == nil {
 		f.rerouteRefused++
 		n.rerouteRefusals++
-		return false, fmt.Errorf("core: flow %d: no alternate path %s -> %s", f.ID, f.Path[0], f.Path[len(f.Path)-1])
+		return false, fmt.Errorf("core: flow %d: no alternate path %s -> %s", f.ID, oldPath[0], oldPath[len(oldPath)-1])
 	}
-	if samePath(newPath, f.Path) {
+	if samePath(newPath, oldPath) {
 		return false, nil
 	}
-	oldPorts := n.topo.PathPorts(f.Path)
-	newPorts := n.topo.PathPorts(newPath)
+	oldPorts := n.portsOf(f)
+	newPID := n.InternPath(newPath)
+	newPorts := n.pathPortsByID(newPID)
 	added := portsNotIn(newPorts, oldPorts)
 	dropped := portsNotIn(oldPorts, newPorts)
 
@@ -271,7 +323,7 @@ func (n *Network) rerouteFlow(f *Flow, ch *chooser) (moved bool, err error) {
 		}
 	}
 	n.topo.InstallRoute(f.ID, newPath)
-	f.Path = append(f.Path[:0], newPath...)
+	f.PathID = newPID
 	f.ingress = n.topo.Node(newPath[0])
 	// Reroutes keep the flow's endpoints, so under sharding the ingress
 	// engine is unchanged; reassigning keeps the invariant explicit.
@@ -306,7 +358,7 @@ func (n *Network) rerouteAroundPort(pt *topology.Port) (rerouted, refused int) {
 	ch := n.newChooser()
 	for _, f := range n.flowsByID() {
 		crosses := false
-		for _, fp := range n.topo.PathPorts(f.Path) {
+		for _, fp := range n.portsOf(f) {
 			if fp == pt {
 				crosses = true
 				break

@@ -49,8 +49,8 @@ func TestAutoRerouteMovesGuaranteedFlow(t *testing.T) {
 	if err := n.FailLink("S1", "S2"); err != nil {
 		t.Fatal(err)
 	}
-	if want := []string{"S1", "B", "B2", "S3"}; !reflect.DeepEqual(f.Path, want) {
-		t.Fatalf("path after failure %v, want %v", f.Path, want)
+	if want := []string{"S1", "B", "B2", "S3"}; !reflect.DeepEqual(f.Path(), want) {
+		t.Fatalf("path after failure %v, want %v", f.Path(), want)
 	}
 	if f.Rerouted() != 1 || f.RerouteRefused() != 0 {
 		t.Fatalf("counters rerouted=%d refused=%d, want 1/0", f.Rerouted(), f.RerouteRefused())
@@ -98,8 +98,8 @@ func TestRerouteRefusedWithoutAlternatePath(t *testing.T) {
 	if f.Rerouted() != 0 || f.RerouteRefused() != 1 {
 		t.Fatalf("counters rerouted=%d refused=%d, want 0/1", f.Rerouted(), f.RerouteRefused())
 	}
-	if want := []string{"S1", "S2"}; !reflect.DeepEqual(f.Path, want) {
-		t.Fatalf("refused flow's path changed to %v", f.Path)
+	if want := []string{"S1", "S2"}; !reflect.DeepEqual(f.Path(), want) {
+		t.Fatalf("refused flow's path changed to %v", f.Path())
 	}
 	if r, x := n.RerouteTotals(); r != 0 || x != 1 {
 		t.Fatalf("network totals %d/%d, want 0/1", r, x)
@@ -126,8 +126,8 @@ func TestGuaranteedRerouteRefusedAtFIFOHop(t *testing.T) {
 	if f.Rerouted() != 0 || f.RerouteRefused() != 1 {
 		t.Fatalf("counters rerouted=%d refused=%d, want 0/1", f.Rerouted(), f.RerouteRefused())
 	}
-	if want := []string{"S1", "S2", "S3"}; !reflect.DeepEqual(f.Path, want) {
-		t.Fatalf("refused flow moved to %v", f.Path)
+	if want := []string{"S1", "S2", "S3"}; !reflect.DeepEqual(f.Path(), want) {
+		t.Fatalf("refused flow moved to %v", f.Path())
 	}
 	// Old reservations intact on both old hops.
 	for _, pr := range [][2]string{{"S1", "S2"}, {"S2", "S3"}} {
@@ -245,10 +245,10 @@ func TestSpreadPolicyDistributesFlows(t *testing.T) {
 	}
 	used := map[string]int{}
 	for _, f := range flows {
-		if len(f.Path) != 3 {
-			t.Fatalf("flow %d path %v, want a 3-node detour", f.ID, f.Path)
+		if len(f.Path()) != 3 {
+			t.Fatalf("flow %d path %v, want a 3-node detour", f.ID, f.Path())
 		}
-		used[f.Path[1]]++
+		used[f.Path()[1]]++
 	}
 	if len(used) != 2 {
 		t.Fatalf("spread used detours %v, want both", used)
@@ -294,7 +294,7 @@ func TestRerouteDeterministicAcrossRuns(t *testing.T) {
 		n.Run(2)
 		var paths [][]string
 		for _, f := range flows {
-			paths = append(paths, append([]string(nil), f.Path...))
+			paths = append(paths, append([]string(nil), f.Path()...))
 		}
 		r, x := n.RerouteTotals()
 		return paths, r, x

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ispn/internal/routing"
+)
+
+func TestCacheShowdown(t *testing.T) {
+	cells := CacheShowdown(RunConfig{Duration: 120, Seed: 9})
+	if len(cells) != len(routing.CacheSchemes) {
+		t.Fatalf("cells = %d, want one per scheme", len(cells))
+	}
+	byScheme := map[string]CacheCell{}
+	for _, c := range cells {
+		if c.Hits+c.Misses == 0 {
+			t.Fatalf("scheme %s saw no lookups", c.Scheme)
+		}
+		if c.Admitted == 0 {
+			t.Fatalf("scheme %s admitted no calls", c.Scheme)
+		}
+		byScheme[c.Scheme] = c
+	}
+	// The workload is identical in every cell — the cache cannot change
+	// routing outcomes — so the arrival/admission totals must agree exactly.
+	base := cells[0]
+	for _, c := range cells[1:] {
+		if c.Admitted != base.Admitted || c.Hits+c.Misses != base.Hits+base.Misses {
+			t.Errorf("scheme %s saw a different workload than %s: %+v vs %+v",
+				c.Scheme, base.Scheme, c, base)
+		}
+	}
+	// The DEC-TR-592 ordering on a locality-skewed stream: recency tracking
+	// beats insertion order beats blind eviction.
+	lru, fifo, rnd := byScheme[routing.CacheLRU], byScheme[routing.CacheFIFO], byScheme[routing.CacheRandom]
+	if lru.HitRate < fifo.HitRate {
+		t.Errorf("LRU hit rate %.3f below FIFO %.3f", lru.HitRate, fifo.HitRate)
+	}
+	if fifo.HitRate < rnd.HitRate {
+		t.Errorf("FIFO hit rate %.3f below random %.3f", fifo.HitRate, rnd.HitRate)
+	}
+}
+
+func TestFormatCacheShowdown(t *testing.T) {
+	out := FormatCacheShowdown(CacheShowdown(RunConfig{Duration: 60, Seed: 3}))
+	for _, want := range []string{"scheme", "hit-rate", "lru", "fifo", "random", "direct"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table lacks %q:\n%s", want, out)
+		}
+	}
+}

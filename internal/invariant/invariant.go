@@ -41,6 +41,7 @@ const (
 	CheckConservation = "conservation"
 	CheckQueueLens    = "qlen-consistency"
 	CheckCapacity     = "capacity"
+	CheckAggregate    = "aggregate-consistency"
 	CheckLeak         = "pool-leak"
 )
 
@@ -191,6 +192,23 @@ func (o *Oracle) Sweep(now float64) {
 		}
 		o.prevReserved[i] = res
 	}
+	// Aggregate consistency: the oracle sees through predicted-flow
+	// aggregation. A carrier flow declares (and the schedulers, admission
+	// and reroute machinery all consume) one total rate; that total must
+	// always equal the sum of its live members' token rates, or member
+	// join/leave bookkeeping has drifted and every downstream decision is
+	// charged the wrong load.
+	for _, a := range o.net.Aggregates() {
+		sum := a.MemberRateSum()
+		total := a.DeclaredTotal()
+		declared := a.Carrier().DeclaredRate()
+		tol := 1e-6 * (1 + math.Abs(sum))
+		if math.Abs(total-sum) > tol || math.Abs(declared-sum) > tol {
+			o.record(CheckAggregate, fmt.Sprintf("carrier %d", a.Carrier().ID), now, fmt.Sprintf(
+				"%d member(s) sum to %.3f bit/s, aggregate records %.3f, carrier declares %.3f",
+				a.Members(), sum, total, declared))
+		}
+	}
 }
 
 // Settled reports whether the network has gone quiet: every queue empty and
@@ -323,7 +341,7 @@ func (fs *flowState) refresh() {
 func (o *Oracle) slack(f *core.Flow) float64 {
 	maxBits := float64(o.net.Config().MaxPacketBits)
 	var s float64
-	for _, pt := range o.net.Topology().PathPorts(f.Path) {
+	for _, pt := range o.net.Topology().PathPorts(f.Path()) {
 		s += maxBits / pt.Bandwidth()
 	}
 	return s

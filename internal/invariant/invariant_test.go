@@ -156,6 +156,47 @@ func TestRateCutDoesNotFireCapacity(t *testing.T) {
 	}
 }
 
+func TestAggregateConsistency(t *testing.T) {
+	// The oracle must see through predicted-flow aggregation: a healthy
+	// set of members keeps the sweep quiet, and a skewed running total —
+	// the exact drift member join/leave bookkeeping could introduce — is
+	// reported against the carrier.
+	n := core.New(core.Config{Seed: 3})
+	n.AddSwitch("S1")
+	n.AddSwitch("S2")
+	n.Connect("S1", "S2")
+	path := []string{"S1", "S2"}
+	spec := core.PredictedSpec{TokenRate: 1e4, BucketBits: 1e4, Delay: 0.1}
+	var members []core.Member
+	for i := 0; i < 5; i++ {
+		m, err := n.RequestPredictedMember(path, 0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+	}
+	o := Attach(n, Config{})
+	o.Sweep(0)
+	members[2].Release()
+	o.Sweep(1) // join/leave bookkeeping must still balance
+	if tot := o.Totals(); tot.Failed() {
+		t.Fatalf("consistent aggregate flagged: %v", tot.Violations)
+	}
+	aggs := n.Aggregates()
+	if len(aggs) != 1 {
+		t.Fatalf("want 1 aggregate, got %d", len(aggs))
+	}
+	aggs[0].SkewTotalForTest(5e3)
+	o.Sweep(2)
+	tot := o.Totals()
+	if len(tot.Violations) != 1 || tot.Violations[0].Checker != CheckAggregate {
+		t.Fatalf("skewed aggregate total not caught: %v", tot.Violations)
+	}
+	if !strings.Contains(tot.Violations[0].Detail, "member(s) sum to") {
+		t.Fatalf("malformed detail: %q", tot.Violations[0].Detail)
+	}
+}
+
 func TestViolationDedup(t *testing.T) {
 	o := &Oracle{vs: make(map[string]*Violation)}
 	o.record("chk", "b", 1.5, "first")

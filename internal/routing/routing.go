@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ispn/internal/topology"
 )
@@ -96,12 +97,27 @@ func CostByName(name string, maxPacketBits int) (Cost, error) {
 	return nil, fmt.Errorf("routing: unknown cost %q (costs: hops, delay, load)", name)
 }
 
-// Graph is a routing view over a topology. It holds no state beyond the
-// network pointer and the cost function; paths are computed against the
-// live topology (current Down flags, current utilization) at call time.
+// Graph is a routing view over a topology: the node index and search
+// scratch are built once and reused across calls, while paths are still
+// computed against the live topology (current Down flags, current
+// utilization) at call time. A Graph is not safe for concurrent use — every
+// caller in the simulator runs path computations on the control plane, one
+// at a time.
 type Graph struct {
 	net  *topology.Network
 	cost Cost
+
+	// idx/nodes map node names to dense ids in creation order; rebuilt
+	// only when the topology grows (len(net.Nodes()) is the staleness
+	// check — nodes are never removed).
+	idx   map[string]int
+	nodes []*topology.Node
+
+	// Dijkstra scratch, sized to the node count and reused so repeated
+	// path computations (reroute sweeps, cache misses) allocate nothing.
+	dist []float64
+	prev []int
+	done []bool
 }
 
 // NewGraph builds a graph over net with the given cost (nil = CostHops).
@@ -109,17 +125,31 @@ func NewGraph(net *topology.Network, cost Cost) *Graph {
 	if cost == nil {
 		cost = CostHops
 	}
-	return &Graph{net: net, cost: cost}
+	g := &Graph{net: net, cost: cost}
+	g.rebuild()
+	return g
 }
 
-// index maps node names to dense ids in creation order.
-func (g *Graph) index() (map[string]int, []*topology.Node) {
+// rebuild reconstructs the name index and scratch from the current topology.
+func (g *Graph) rebuild() {
 	nodes := g.net.Nodes()
-	idx := make(map[string]int, len(nodes))
+	g.nodes = nodes
+	g.idx = make(map[string]int, len(nodes))
 	for i, nd := range nodes {
-		idx[nd.Name()] = i
+		g.idx[nd.Name()] = i
 	}
-	return idx, nodes
+	g.dist = make([]float64, len(nodes))
+	g.prev = make([]int, len(nodes))
+	g.done = make([]bool, len(nodes))
+}
+
+// index returns the node index, rebuilding it only if switches were added
+// since the last call (topologies never shrink).
+func (g *Graph) index() (map[string]int, []*topology.Node) {
+	if nodes := g.net.Nodes(); len(nodes) != len(g.nodes) {
+		g.rebuild()
+	}
+	return g.idx, g.nodes
 }
 
 // ShortestPath returns the minimum-cost path from -> to as node names,
@@ -137,12 +167,11 @@ func (g *Graph) ShortestPath(from, to string, now float64, avoid map[*topology.P
 	if src == dst {
 		return []string{from}, true
 	}
-	dist := make([]float64, len(nodes))
-	prev := make([]int, len(nodes))
-	done := make([]bool, len(nodes))
+	dist, prev, done := g.dist, g.prev, g.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
 	// O(V^2) scan: simulated topologies are tens of nodes, and a linear
@@ -264,12 +293,17 @@ func (g *Graph) pathPorts(path []string) []*topology.Port {
 }
 
 func pathKey(path []string) string {
-	key := ""
+	n := 0
+	for _, s := range path {
+		n += len(s) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
 	for i, s := range path {
 		if i > 0 {
-			key += "\x00"
+			b.WriteByte(0)
 		}
-		key += s
+		b.WriteString(s)
 	}
-	return key
+	return b.String()
 }

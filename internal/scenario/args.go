@@ -224,6 +224,42 @@ func (a *argSet) path(name string, required bool) []Name {
 	return nil
 }
 
+// identName returns a bare-identifier argument as a Name (used for churn
+// destination endpoints, where a single switch — not a path — is meant).
+func (a *argSet) identName(name string) (Name, bool) {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return Name{}, false
+	}
+	if v.Kind != IdentVal {
+		a.c.failf(v.Pos, "argument %q must be a single switch name", name)
+		return Name{}, false
+	}
+	return Name{Text: v.Str, Pos: v.Pos}, true
+}
+
+// nameList returns a list argument of bare identifiers (used for churn
+// destination pools).
+func (a *argSet) nameList(name string) []Name {
+	v, ok := a.lookup(name, -1)
+	if !ok {
+		return nil
+	}
+	if v.Kind != ListVal {
+		a.c.failf(v.Pos, "argument %q must be a list of switch names like [B1, B2]", name)
+		return nil
+	}
+	out := make([]Name, 0, len(v.List))
+	for _, item := range v.List {
+		if item.Kind != IdentVal {
+			a.c.failf(item.Pos, "argument %q: each element must be a switch name", name)
+			return nil
+		}
+		out = append(out, Name{Text: item.Str, Pos: item.Pos})
+	}
+	return out
+}
+
 // pathList returns a list argument of paths (used for churn route pools).
 func (a *argSet) pathList(name string) [][]Name {
 	v, ok := a.lookup(name, -1)

@@ -6,6 +6,7 @@ import (
 	"ispn/internal/core"
 	"ispn/internal/invariant"
 	"ispn/internal/packet"
+	"ispn/internal/routing"
 	"ispn/internal/sched"
 	"ispn/internal/sim"
 	"ispn/internal/source"
@@ -42,6 +43,14 @@ type Options struct {
 	// CheckBoundScale scales the delay bounds the oracle enforces (0 = 1,
 	// the real bounds). Harness tests shrink it to prove the checks bite.
 	CheckBoundScale float64
+	// ForceCacheScheme installs a destination-locality route cache even when
+	// the file declares none, without growing the report — the byte-identity
+	// harness uses it to prove cached runs report exactly what uncached runs
+	// do. Ignored when the file has its own RouteCache element. Accepts the
+	// routing.CacheSchemes names; ForceCacheSize is the entry count (0 =
+	// DefaultCacheSize).
+	ForceCacheScheme string
+	ForceCacheSize   int
 }
 
 // Defaults a scenario starts from when its file leaves a knob unset.
@@ -51,6 +60,7 @@ const (
 	DefaultLinkRate  = 1e6  // bits/s
 	DefaultPktBits   = 1000 // bits
 	DefaultBucketPkt = 50   // token bucket depth in packets (the paper's 50)
+	DefaultCacheSize = 64   // RouteCache entries when the element names no size
 )
 
 // DefaultPercentiles are reported when a Run declaration names none.
@@ -72,8 +82,9 @@ const (
 
 var kindClass = map[string]elemClass{
 	"Net": classConfig, "Run": classConfig, "Reroute": classConfig,
-	"Switch": classSwitch,
-	"Star":   classGenerator, "Dumbbell": classGenerator,
+	"RouteCache": classConfig,
+	"Switch":     classSwitch,
+	"Star":       classGenerator, "Dumbbell": classGenerator,
 	"ParkingLot": classGenerator, "Random": classGenerator,
 	"Guaranteed": classFlow, "Predicted": classFlow, "Datagram": classFlow,
 	"TCP":    classTCP,
@@ -134,6 +145,12 @@ type Sim struct {
 	// routing argument or a Reroute element), so the report prints the
 	// routing section even when no reroute ever fired.
 	routingOn bool
+
+	// cacheOn records that the *file* declared a RouteCache element — only
+	// then does the report print the cache section. A cache forced through
+	// Options leaves it false, so forced runs stay byte-identical to plain
+	// ones.
+	cacheOn bool
 }
 
 // AdmissionTotals counts runtime service requests (scripted events, churn
@@ -411,7 +428,7 @@ func (c *compiler) compile() *Sim {
 		}
 		return true
 	}
-	var netDecl, runDecl, rerouteDecl *Decl
+	var netDecl, runDecl, rerouteDecl, cacheDecl *Decl
 	for _, d := range c.file.Decls {
 		cls, known := kindClass[d.Kind]
 		if !known {
@@ -444,6 +461,12 @@ func (c *compiler) compile() *Sim {
 				return nil
 			}
 			rerouteDecl = d
+		case "RouteCache":
+			if cacheDecl != nil {
+				c.failf(d.KindPos, "duplicate RouteCache declaration (first at line %d)", cacheDecl.KindPos.Line)
+				return nil
+			}
+			cacheDecl = d
 		}
 	}
 	for _, b := range c.file.Events {
@@ -495,6 +518,7 @@ func (c *compiler) compile() *Sim {
 		c.out.trace = newTraceRec(c.traceDt, c.horizon)
 	}
 	c.routingSetup(rerouteDecl)
+	c.cacheSetup(cacheDecl)
 	if !c.ok() {
 		return nil
 	}
@@ -771,6 +795,50 @@ func (c *compiler) routingSetup(d *Decl) {
 		return
 	}
 	c.out.routingOn = true
+}
+
+// cacheSetup installs the destination-locality route cache. A RouteCache
+// element declares one for the scenario — its eviction scheme, its size, and
+// a cache section in the report. The Options force-cache knobs install one
+// silently instead (no report section), and are ignored when the file has its
+// own element: the file's declaration is part of the scenario's meaning.
+// Either way the cache only accelerates — the core invalidates it on every
+// routing-relevant event, so cached and uncached runs are byte-identical.
+func (c *compiler) cacheSetup(d *Decl) {
+	if !c.ok() {
+		return
+	}
+	scheme, size := c.opts.ForceCacheScheme, c.opts.ForceCacheSize
+	if d != nil {
+		a := c.argsOf(d)
+		scheme = a.enum("scheme", routing.CacheLRU, routing.CacheSchemes...)
+		size = a.count("size", -1, DefaultCacheSize)
+		a.finish("scheme", "size")
+		if !c.ok() {
+			return
+		}
+		if size < 1 {
+			c.failf(d.KindPos, "RouteCache size must be at least 1, got %d", size)
+			return
+		}
+		c.out.cacheOn = true
+	}
+	if scheme == "" {
+		return
+	}
+	if size < 1 {
+		size = DefaultCacheSize
+	}
+	cache, err := routing.NewCache(scheme, size, sim.DeriveRNG(c.seed, "routecache"))
+	if err != nil {
+		pos := Pos{}
+		if d != nil {
+			pos = d.KindPos
+		}
+		c.failf(pos, "%v", err)
+		return
+	}
+	c.net.SetRouteCache(cache)
 }
 
 // defaultLinkRate is the rate links take when neither the link nor Net names

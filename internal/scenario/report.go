@@ -34,9 +34,13 @@ type Report struct {
 	// reports stay bit-identical.
 	Admission *AdmissionTotals
 	Routing   *RoutingTotals
-	Churns    []ChurnReport
-	Trace     []TraceRow
-	Warnings  []string
+	// RouteCache summarizes the destination-locality route cache and is nil
+	// unless the file declared a RouteCache element — a cache forced through
+	// Options never prints, so forced and plain runs stay byte-identical.
+	RouteCache *RouteCacheReport
+	Churns     []ChurnReport
+	Trace      []TraceRow
+	Warnings   []string
 
 	// Check summarizes the invariant oracle when the run was compiled with
 	// Options.Check; nil otherwise, so unchecked reports stay byte-for-byte
@@ -60,6 +64,26 @@ func (c *CheckReport) Failed() bool { return len(c.Violations) > 0 }
 type RoutingTotals struct {
 	Reroutes int64
 	Refusals int64
+}
+
+// RouteCacheReport summarizes the scenario's route cache: its configuration
+// and the DEC-TR-592 counters (lookups served, full clears after topology or
+// routing events, evictions under capacity pressure).
+type RouteCacheReport struct {
+	Scheme        string
+	Size          int
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// HitRate is the fraction of lookups served from the cache (0 when none).
+func (rc *RouteCacheReport) HitRate() float64 {
+	if n := rc.Hits + rc.Misses; n > 0 {
+		return float64(rc.Hits) / float64(n)
+	}
+	return 0
 }
 
 // ChurnReport summarizes one Churn element: its arrival/admission counts and
@@ -200,6 +224,19 @@ func (s *Sim) buildReport() *Report {
 	if s.routingOn {
 		re, ref := s.Net.RerouteTotals()
 		r.Routing = &RoutingTotals{Reroutes: re, Refusals: ref}
+	}
+	if s.cacheOn {
+		if c := s.Net.RouteCache(); c != nil {
+			st := c.Stats()
+			r.RouteCache = &RouteCacheReport{
+				Scheme:        c.Scheme(),
+				Size:          c.Size(),
+				Hits:          st.Hits,
+				Misses:        st.Misses,
+				Evictions:     st.Evictions,
+				Invalidations: st.Invalidations,
+			}
+		}
 	}
 	if tr := s.trace; tr != nil {
 		for k := 0; k < tr.nfull; k++ {
@@ -422,6 +459,11 @@ func (r *Report) Format() string {
 				fmt.Fprintf(&b, "  %s: %d reroute(s), %d refusal(s)\n", f.Name, f.Reroutes, f.RerouteRefusals)
 			}
 		}
+	}
+
+	if rc := r.RouteCache; rc != nil {
+		fmt.Fprintf(&b, "\nroute cache (%s, %d entries): %d hit(s), %d miss(es), %.0f%% hit rate, %d eviction(s), %d invalidation(s)\n",
+			rc.Scheme, rc.Size, rc.Hits, rc.Misses, rc.HitRate()*100, rc.Evictions, rc.Invalidations)
 	}
 
 	if len(r.TCPs) > 0 {

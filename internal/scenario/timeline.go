@@ -10,6 +10,8 @@ package scenario
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"ispn/internal/core"
 	"ispn/internal/packet"
@@ -474,6 +476,15 @@ type churnRun struct {
 	until   float64 // 0 = horizon
 	paths   [][]string
 
+	// Destination-locality mode (from/to/locality instead of path/paths):
+	// arrivals originate at from and pick a destination from dests with
+	// Zipf-skewed probability P(k) ∝ 1/(k+1)^locality over the list in file
+	// order; the route is resolved at arrival time through the network's
+	// LookupRoute — the lookup stream a RouteCache element accelerates.
+	from    string
+	dests   []string
+	destCDF []float64 // cumulative Zipf weights, len(dests)
+
 	rng *sim.RNG
 
 	arrivals, admitted, rejected, departed int64
@@ -502,8 +513,12 @@ func (c *compiler) churnDecl(d *Decl) {
 	loss := a.fraction("loss", -1, 0.01)
 	single := a.path("path", false)
 	pathLists := a.pathList("paths")
+	from, fromGiven := a.identName("from")
+	dests := a.nameList("to")
+	locality := a.plain("locality", -1, 1)
+	localityPos, localityGiven := a.given("locality", -1)
 	a.finish("every", "hold", "service", "rate", "bucket", "delay", "loss", "class",
-		"src", "pps", "size", "start", "until", "path", "paths")
+		"src", "pps", "size", "start", "until", "path", "paths", "from", "to", "locality")
 	if !c.ok() {
 		return
 	}
@@ -536,8 +551,51 @@ func (c *compiler) churnDecl(d *Decl) {
 	if single != nil {
 		pathLists = append(pathLists, single)
 	}
+	// Two routing modes: explicit paths (path/paths) or destination
+	// locality (from/to/locality), never both.
+	destMode := fromGiven || dests != nil || localityGiven
+	if destMode && len(pathLists) > 0 {
+		c.failf(d.KindPos, "Churn takes either explicit paths (path/paths) or destination locality (from/to), not both")
+		return
+	}
+	if destMode {
+		if !fromGiven || len(dests) == 0 {
+			c.failf(d.KindPos, "Churn destination locality needs both from (a switch) and to (a list of switches)")
+			return
+		}
+		if locality < 0 {
+			c.failf(localityPos, "Churn locality must be non-negative, got %v", locality)
+			return
+		}
+		if !c.switches[from.Text] {
+			c.what(from, "a switch", "in a Churn from")
+			return
+		}
+		ch.from = from.Text
+		for _, n := range dests {
+			if !c.switches[n.Text] {
+				c.what(n, "a switch", "in a Churn to")
+				return
+			}
+			if n.Text == from.Text {
+				c.failf(n.Pos, "Churn destination %q is the origin itself", n.Text)
+				return
+			}
+			ch.dests = append(ch.dests, n.Text)
+		}
+		// Zipf over list order: the k-th destination gets weight
+		// 1/(k+1)^locality (locality 0 = uniform). The CDF is fixed at
+		// compile so every arrival pays one uniform draw and a search.
+		sum := 0.0
+		for k := range ch.dests {
+			sum += math.Pow(float64(k+1), -locality)
+			ch.destCDF = append(ch.destCDF, sum)
+		}
+		c.out.churns = append(c.out.churns, ch)
+		return
+	}
 	if len(pathLists) == 0 {
-		c.failf(d.KindPos, "Churn needs a path (path A -> B) or a pool (paths [A -> B, A -> C])")
+		c.failf(d.KindPos, "Churn needs a path (path A -> B), a pool (paths [A -> B, A -> C]), or destination locality (from A, to [B, C])")
 		return
 	}
 	for _, p := range pathLists {
@@ -580,9 +638,19 @@ func (ch *churnRun) doArrival(s *Sim) {
 	eng := s.Net.Engine()
 	now := eng.Now()
 	ch.arrivals++
-	path := ch.paths[0]
-	if len(ch.paths) > 1 {
-		path = ch.paths[ch.rng.Intn(len(ch.paths))]
+	var path []string
+	if ch.dests != nil {
+		// Destination mode: draw the (Zipf-skewed) destination, then let
+		// the network resolve the route — through the route cache when one
+		// is installed. An unroutable destination flows into issueRequest
+		// as an invalid path and is counted as a rejection, like any other
+		// refused arrival.
+		path = s.Net.LookupRoute(ch.from, ch.dests[ch.drawDest()])
+	} else {
+		path = ch.paths[0]
+		if len(ch.paths) > 1 {
+			path = ch.paths[ch.rng.Intn(len(ch.paths))]
+		}
 	}
 	holdFor := ch.rng.Exp(ch.hold)
 	id := s.allocID()
@@ -614,6 +682,19 @@ func (ch *churnRun) doArrival(s *Sim) {
 			s.noteDeparture(eng.Now())
 		}
 	})
+}
+
+// drawDest picks a destination index with probability proportional to its
+// compile-time Zipf weight. One uniform draw per arrival, whatever the
+// outcome, so the churn's random stream position never depends on admission
+// or routing results.
+func (ch *churnRun) drawDest() int {
+	u := ch.rng.Float64() * ch.destCDF[len(ch.destCDF)-1]
+	i := sort.SearchFloat64s(ch.destCDF, u)
+	if i >= len(ch.dests) {
+		i = len(ch.dests) - 1
+	}
+	return i
 }
 
 // --- per-interval trace ----------------------------------------------------

@@ -10,6 +10,12 @@ package tokenbucket
 
 import "math"
 
+// Epsilon is the conformance slack: a packet conforms when the bucket holds
+// at least size-Epsilon tokens, absorbing float rounding in long refill
+// chains. Exported so inlined per-member buckets (core's predicted-flow
+// aggregation) apply the exact same test as Bucket.Take.
+const Epsilon = 1e-12
+
 // Bucket is a token bucket filter. Create one with New; the bucket starts
 // full, matching the paper's recurrence n₀ = b.
 type Bucket struct {
@@ -50,7 +56,7 @@ func (b *Bucket) refill(now float64) {
 // conforms, without consuming tokens.
 func (b *Bucket) Conforms(now, size float64) bool {
 	b.refill(now)
-	return b.tokens >= size-1e-12
+	return b.tokens >= size-Epsilon
 }
 
 // Take consumes size tokens at time now if the packet conforms, reporting

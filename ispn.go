@@ -60,6 +60,10 @@ type (
 	Network = core.Network
 	// Flow is an admitted flow with its meter and injection point.
 	Flow = core.Flow
+	// Member is a lightweight handle on one predicted flow inside an
+	// aggregate (Network.RequestPredictedMember): flows that share a
+	// (class, path) ride one carrier Flow, each with its own policer.
+	Member = core.Member
 	// GuaranteedSpec is the guaranteed-service request (clock rate r).
 	GuaranteedSpec = core.GuaranteedSpec
 	// PredictedSpec is the predicted-service request (r, b, D, L).
