@@ -1,12 +1,28 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: ci vet build examples test scenario-check bench-smoke bench bench-json fmt-check profile fuzz-smoke serve-smoke cover
+.PHONY: ci vet lint lint-teeth build examples test scenario-check bench-smoke bench bench-json fmt-check profile fuzz-smoke serve-smoke cover
 
-ci: vet build examples test scenario-check bench-smoke fuzz-smoke serve-smoke
+ci: vet lint lint-teeth build examples test scenario-check bench-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Run the repo's own analyzer suite (cmd/ispnvet, catalog in
+# docs/ANALYSIS.md) through the go vet driver, plus staticcheck when it is
+# installed (CI installs a pinned version; locally it is optional).
+lint:
+	$(GO) build -o bin/ispnvet ./cmd/ispnvet
+	$(GO) vet -vettool=$(CURDIR)/bin/ispnvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
+
+# Prove the lint gate has teeth: seed an unsorted map range into a copy of
+# internal/core and require `go vet -vettool` to reject it.
+lint-teeth:
+	./scripts/lint-teeth.sh
 
 build:
 	$(GO) build ./...

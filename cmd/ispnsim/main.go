@@ -32,27 +32,35 @@ import (
 )
 
 // verbInfo describes one scenario verb for the generated usage text: its
-// argument shape, the global flags it honors, and a one-line summary. The
-// usage renderer sorts by name, so adding a verb here cannot leave the help
-// stale or misordered (main_test.go pins the table against the dispatcher).
+// argument shape, the global flags it honors, a one-line summary, and the
+// docs/ page that documents it. The usage renderer sorts by name, so adding
+// a verb here cannot leave the help stale or misordered (main_test.go pins
+// the table against the dispatcher and requires every docs anchor to exist
+// and mention its verb).
 type verbInfo struct {
 	name    string
 	args    string
 	flags   string
 	summary string
+	docs    string
 }
 
 var verbs = []verbInfo{
 	{"check", "<file.ispn>...", "-seed -horizon -shards",
-		"parse and validate scenario files without running"},
+		"parse and validate scenario files without running",
+		"docs/SCENARIO.md"},
 	{"fuzz", "", "-n -seed -shards -corpus",
-		"generate -n random worlds, run each sequentially and sharded\nunder the invariant oracle, minimize failures"},
+		"generate -n random worlds, run each sequentially and sharded\nunder the invariant oracle, minimize failures",
+		"docs/TESTING.md"},
 	{"run", "<file.ispn>...", "-seed -horizon -shards -check -parallel -cpuprofile -memprofile",
-		"simulate scenario files (in parallel when several)"},
+		"simulate scenario files (in parallel when several)",
+		"docs/SCENARIO.md"},
 	{"scenarios", "[dir]", "",
-		"list the scenario library (default dir: scenarios)"},
+		"list the scenario library (default dir: scenarios)",
+		"docs/SCENARIO.md"},
 	{"serve", "[dir]", "-addr",
-		"serve the live HTTP/JSON control API over the scenario library\nin dir (default: scenarios); see docs/SERVE.md"},
+		"serve the live HTTP/JSON control API over the scenario library\nin dir (default: scenarios)",
+		"docs/SERVE.md"},
 }
 
 // experimentInfo pairs an experiment name with its summary; the list is the
@@ -100,6 +108,9 @@ func buildUsage() string {
 		}
 		if v.flags != "" {
 			fmt.Fprintf(&b, "  %-21s flags: %s\n", "", v.flags)
+		}
+		if v.docs != "" {
+			fmt.Fprintf(&b, "  %-21s see %s\n", "", v.docs)
 		}
 	}
 	b.WriteString("\nexperiments (also: all = every row below):\n")

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -48,6 +50,32 @@ func TestUsageVerbsSortedAndComplete(t *testing.T) {
 	}
 	if !strings.Contains(u, "serve") || !strings.Contains(u, "docs/SERVE.md") {
 		t.Error("usage does not point serve users at docs/SERVE.md")
+	}
+}
+
+// TestVerbsHaveLiveDocsAnchors: every verb names a docs/ page, the page
+// exists in the repo, is rendered into the usage text, and actually
+// documents the verb (mentions "ispnsim <verb>") — so help pointers cannot
+// rot as docs are reorganized.
+func TestVerbsHaveLiveDocsAnchors(t *testing.T) {
+	u := buildUsage()
+	for _, v := range verbs {
+		if v.docs == "" {
+			t.Errorf("verb %q has no docs anchor", v.name)
+			continue
+		}
+		if !strings.Contains(u, "see "+v.docs) {
+			t.Errorf("usage does not point %q users at %s", v.name, v.docs)
+		}
+		page := filepath.Join("..", "..", filepath.FromSlash(v.docs))
+		body, err := os.ReadFile(page)
+		if err != nil {
+			t.Errorf("verb %q docs anchor: %v", v.name, err)
+			continue
+		}
+		if !strings.Contains(string(body), "ispnsim "+v.name) {
+			t.Errorf("%s does not mention `ispnsim %s`", v.docs, v.name)
+		}
 	}
 }
 

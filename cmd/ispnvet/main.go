@@ -1,0 +1,89 @@
+// Command ispnvet runs the repo's custom determinism/ownership analyzers
+// (internal/analysis, catalog in docs/ANALYSIS.md) over Go packages.
+//
+// It speaks two protocols:
+//
+//	ispnvet [-json] [packages...]     # standalone: loads packages itself
+//	go vet -vettool=$(pwd)/bin/ispnvet ./...   # unitchecker protocol
+//
+// As a vettool it implements the cmd/go unit-checking contract: -V=full
+// prints a version for the build cache, -flags advertises no extra flags,
+// and a *.cfg argument analyzes one package from the JSON configuration go
+// vet supplies (export data for imports, so no re-typechecking of
+// dependencies). Diagnostics print as file:line:col: message [analyzer];
+// any finding makes the exit status nonzero and fails `make lint`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ispn/internal/analysis"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	// The cmd/go vettool protocol probes before any real work:
+	//   ispnvet -V=full   → one line identifying the tool for cache keys
+	//   ispnvet -flags    → JSON list of tool flags (none beyond the core)
+	//   ispnvet foo.cfg   → analyze one unit
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			fmt.Printf("ispnvet version %s\n", version)
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			unitMain(os.Args[1])
+			return
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (CI artifact mode)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ispnvet [-json] [packages]\n       go vet -vettool=<path-to-ispnvet> [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pkgs, err := analysis.Load(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ispnvet:", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.RunPackages(pkgs, analysis.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ispnvet:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ispnvet:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ispnvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(2)
+	}
+}

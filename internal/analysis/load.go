@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked analysis unit. In-package test files
+// are checked together with the package proper (the same build unit `go
+// test` compiles); an external _test package becomes its own Package whose
+// Path still reports the directory's import path, so analyzer scoping sees
+// test helpers too.
+type Package struct {
+	Path  string // import path used for analyzer scoping
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the slice of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Module       *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// loader type-checks the requested module packages from source, resolving
+// every external import (in this repo: only the standard library) through
+// the gc export data `go list -export` reports, with a from-source importer
+// as the fallback for anything without export data.
+type loader struct {
+	fset    *token.FileSet
+	dir     string
+	pkgs    map[string]*listPackage
+	exports map[string]string
+	checked map[string]*Package
+	loading map[string]bool
+	gc      types.Importer
+	src     types.Importer
+	gover   string
+}
+
+// Load lists patterns in dir (default "./...") and returns the module's
+// packages type-checked and ready for analysis, ordered by import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		pkgs:    map[string]*listPackage{},
+		exports: map[string]string{},
+		checked: map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	ld.src = importer.ForCompiler(ld.fset, "source", nil)
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp := ld.exports[path]
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	// One pass with -deps -test -export: dependency export data (for fast,
+	// exact stdlib imports) and the module packages themselves.
+	out, err := goList(dir, append([]string{"-e", "-deps", "-test", "-export", "-json"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	seen := map[string]bool{}
+	for _, lp := range out {
+		if strings.Contains(lp.ImportPath, " [") || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test build variants; the base entry carries what we need
+		}
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && !lp.Standard {
+			if ld.gover == "" {
+				ld.gover = lp.Module.GoVersion
+			}
+			ld.pkgs[lp.ImportPath] = lp
+		}
+	}
+	// -deps lists dependencies too; restrict the roots to the original
+	// patterns with a second, cheap, non-exporting list call.
+	rootList, err := goList(dir, append([]string{"-e", "-json"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range rootList {
+		if lp.Module == nil || lp.Standard || seen[lp.ImportPath] {
+			continue
+		}
+		if lp.Error != nil && len(lp.GoFiles) == 0 && len(lp.TestGoFiles) == 0 && len(lp.XTestGoFiles) == 0 {
+			continue
+		}
+		seen[lp.ImportPath] = true
+		if _, ok := ld.pkgs[lp.ImportPath]; !ok {
+			ld.pkgs[lp.ImportPath] = lp
+		}
+		roots = append(roots, lp.ImportPath)
+	}
+
+	var res []*Package
+	for _, path := range roots {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, pkg)
+		if x, err := ld.checkXTest(path); err != nil {
+			return nil, err
+		} else if x != nil {
+			res = append(res, x)
+		}
+	}
+	return res, nil
+}
+
+func goList(dir string, args []string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil && stdout.Len() == 0 {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// Import implements types.Importer over the loader's world view: module
+// packages from source (shared identity with the analysis passes), external
+// packages from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := ld.pkgs[path]; ok {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if ld.exports[path] != "" {
+		return ld.gc.Import(path)
+	}
+	return ld.src.Import(path)
+}
+
+// check type-checks one module package (with its in-package test files).
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	lp, ok := ld.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not listed", path)
+	}
+	files, err := ld.parse(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := ld.typeCheck(path, path, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// checkXTest type-checks the external test package of path, if it has one.
+func (ld *loader) checkXTest(path string) (*Package, error) {
+	lp := ld.pkgs[path]
+	if lp == nil || len(lp.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := ld.parse(lp.Dir, lp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	return ld.typeCheck(path+"_test", path, lp.Dir, files)
+}
+
+func (ld *loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (ld *loader) typeCheck(checkPath, scopePath, dir string, files []*ast.File) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  ld,
+		GoVersion: goVersion(ld.gover),
+		Error:     func(error) {}, // keep going; the first error is returned below
+	}
+	tpkg, err := conf.Check(checkPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", checkPath, err)
+	}
+	return &Package{
+		Path:  scopePath,
+		Dir:   dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// goVersion normalizes a go.mod language version ("1.24") to the "go1.24"
+// form types.Config wants; empty stays empty (checker default).
+func goVersion(v string) string {
+	if v == "" || strings.HasPrefix(v, "go") {
+		return v
+	}
+	return "go" + v
+}

@@ -1,0 +1,26 @@
+package analysis
+
+// Analyzers is the full ispnvet suite, in the order findings are attributed
+// (docs/ANALYSIS.md is the catalog).
+var Analyzers = []*Analyzer{
+	KeyedEvents,
+	MapRange,
+	PoolOwnership,
+	ReportNil,
+	WallClock,
+}
+
+// RunPackages loads nothing itself: it applies the given analyzers to every
+// already-loaded package and returns all findings in stable order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}

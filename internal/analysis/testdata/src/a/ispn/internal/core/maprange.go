@@ -1,0 +1,83 @@
+// Maprange fixture: flagged iterations, the sanctioned order-independent
+// idioms, and the allow escape hatch.
+package core
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m iterates in nondeterministic order"
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+func floatReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "range over map m iterates in nondeterministic order"
+		sum += v
+	}
+	return sum
+}
+
+func callInFill(m map[string]int, f func(int) int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m { // want "range over map m iterates in nondeterministic order"
+		out[k] = f(v)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func keyedFill(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func intReduce(m map[string]int64) int64 {
+	var total int64
+	n := 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total + int64(n)
+}
+
+func emptyBody(m map[string]int) {
+	for range m {
+	}
+}
+
+func notAMap(s []int) int {
+	total := 0
+	for _, v := range s {
+		total *= v
+	}
+	return total
+}
+
+func allowed(m map[string]uint64) uint64 {
+	var h uint64
+	//ispnvet:allow maprange: xor is commutative, so the digest is identical under any iteration order
+	for _, v := range m {
+		h ^= v
+	}
+	return h
+}

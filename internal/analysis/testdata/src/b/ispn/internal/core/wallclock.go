@@ -1,0 +1,30 @@
+// Wallclock fixture: host clock, global rand, and environment reads are
+// flagged; seeded constructors and generator methods are not.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func ambient() {
+	_ = time.Now()                     // want "time.Now reads the host clock"
+	_ = rand.Int()                     // want "rand.Int draws from the process-global source"
+	rand.Shuffle(1, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	_, _ = os.LookupEnv("ISPN_SEED")   // want "os.LookupEnv makes results depend on the host environment"
+}
+
+func seeded() {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Int()
+	_ = r.Float64()
+	_ = time.Second
+	var src rand.Source = rand.NewSource(7)
+	_ = src
+}
+
+func allowed() time.Time {
+	//ispnvet:allow wallclock: stamps a log line that never reaches a report
+	return time.Now()
+}

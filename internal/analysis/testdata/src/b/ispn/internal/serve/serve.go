@@ -1,0 +1,6 @@
+// The control plane is exempt: it paces sessions against real time.
+package serve
+
+import "time"
+
+func pace() time.Time { return time.Now() }

@@ -1,0 +1,27 @@
+// Keyedevents fixture, control-plane package: absolute-time At/AtCall and
+// even relative Schedule/ScheduleCall need canonical keys here.
+package scenario
+
+import "ispn/internal/sim"
+
+func intervene(eng *sim.Engine) {
+	eng.At(1.0, func() {})                       // want "unkeyed absolute-time At on sim.Engine"
+	eng.AtCall(1.0, func(v float64) {}, 2.0)     // want "unkeyed absolute-time AtCall on sim.Engine"
+	eng.Schedule(0.5, func() {})                 // want "unkeyed Schedule from a control-plane package"
+	eng.ScheduleCall(0.5, func(v float64) {}, 1) // want "unkeyed ScheduleCall from a control-plane package"
+	eng.AtControl(1.0, func() {})
+	eng.AtCallKeyed(1.0, sim.Key(3), func(v float64) {}, 2.0)
+}
+
+func allowed(eng *sim.Engine) {
+	//ispnvet:allow keyedevents: registered before the run starts, so the insertion order is identical in both modes
+	eng.At(1.0, func() {})
+}
+
+type notEngine struct{}
+
+func (notEngine) At(t float64, fn func()) {}
+
+func otherReceiver(n notEngine) {
+	n.At(1.0, func() {})
+}

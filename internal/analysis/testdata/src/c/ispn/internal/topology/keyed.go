@@ -1,0 +1,11 @@
+// Keyedevents fixture, data-plane package: relative self-ticks are the
+// sanctioned idiom; absolute-time scheduling still needs a key.
+package topology
+
+import "ispn/internal/sim"
+
+func selfTick(eng *sim.Engine) {
+	eng.Schedule(0.001, func() {})
+	eng.ScheduleCall(0.001, func(v float64) {}, 1)
+	eng.At(2.0, func() {}) // want "unkeyed absolute-time At on sim.Engine"
+}

@@ -1,0 +1,55 @@
+// Poolownership fixture: dropped and never-consumed acquisitions are
+// flagged; release, forwarding, storing, and returning all count as the
+// ownership leaving the function.
+package sched
+
+import "ispn/internal/packet"
+
+type queue struct{ items []*packet.Packet }
+
+func (q *queue) Dequeue(now float64) *packet.Packet    { return nil }
+func (q *queue) Enqueue(p *packet.Packet, now float64) {}
+
+func dropped(p *packet.Pool, q *queue) {
+	p.Get()          // want "Pool.Get result is dropped"
+	q.Dequeue(0)     // want "Dequeue result is dropped"
+	_ = q.Dequeue(0) // want "Dequeue result is assigned to _"
+}
+
+func neverConsumed(q *queue) int {
+	got := q.Dequeue(0) // want "packet from Dequeue is never released, forwarded, stored, or returned in neverConsumed"
+	if got == nil {
+		return 0
+	}
+	return got.Size // a field read is not an ownership handoff
+}
+
+func released(p *packet.Pool) {
+	g := p.Get()
+	packet.Release(g)
+}
+
+func returned(q *queue) *packet.Packet {
+	got := q.Dequeue(0)
+	return got
+}
+
+func forwarded(q *queue, sink func(*packet.Packet)) {
+	got := q.Dequeue(0)
+	sink(got)
+}
+
+func stored(q *queue, other *queue) {
+	got := q.Dequeue(0)
+	other.items = append(other.items, got)
+}
+
+func reenqueued(q *queue) {
+	got := q.Dequeue(0)
+	q.Enqueue(got, 1)
+}
+
+func allowed(q *queue) {
+	//ispnvet:allow poolownership: drain-to-measure benchmark; the fixture pool is never balanced
+	q.Dequeue(0)
+}

@@ -1,0 +1,10 @@
+// Test files are exempt from poolownership: tests assert on dequeued
+// literal packets and the runtime conservation oracle covers real pools.
+package sched
+
+func testOnlyLeak(q *queue) {
+	got := q.Dequeue(0)
+	if got != nil && got.Size == 0 {
+		return
+	}
+}

@@ -1,0 +1,29 @@
+// Hygiene fixture: malformed, unknown-analyzer, justification-less, and
+// stale allow annotations are themselves diagnostics. Checked directly by
+// TestAllowHygiene (no want comments: the annotations here are deliberately
+// broken, so inline markers would change what is parsed).
+package core
+
+//ispnvet:allow
+func missingName() {}
+
+//ispnvet:allow nosuchcheck: believable reason for a check that does not exist
+func unknownAnalyzer() {}
+
+//ispnvet:allow maprange
+func missingJustification() {}
+
+//ispnvet:allow maprange: nothing on the next line violates maprange
+func stale() {}
+
+//ispnvet:allowance is a different word and not an annotation at all
+func notOurs() {}
+
+func validSuppression(m map[string]uint32) uint32 {
+	var h uint32
+	//ispnvet:allow maprange: xor commutes, order cannot reach the result
+	for _, v := range m {
+		h ^= v
+	}
+	return h
+}

@@ -290,7 +290,7 @@ func TestRerouteDeterministicAcrossRuns(t *testing.T) {
 			}
 			flows = append(flows, f)
 		}
-		n.Engine().At(1.0, func() { _ = n.FailLink("S1", "S2") })
+		n.Engine().AtControl(1.0, func() { _ = n.FailLink("S1", "S2") })
 		n.Run(2)
 		var paths [][]string
 		for _, f := range flows {

@@ -228,7 +228,7 @@ func runAdmissionPolicy(cfg RunConfig, offered int, policy string) AdmissionResu
 			start = cfg.Duration * 0.95
 		}
 		hold := 30 + rng.Exp(30)
-		eng.At(start, func() {
+		eng.AtControl(start, func() {
 			id := uint32(100 + i)
 			spec := core.PredictedSpec{
 				TokenRate:  AvgRate * PacketBits,
@@ -268,7 +268,7 @@ func runAdmissionPolicy(cfg RunConfig, offered int, policy string) AdmissionResu
 					packet.Release(p)
 				}
 			})
-			eng.At(stop, func() {
+			eng.AtControl(stop, func() {
 				if policy == "worst-case" {
 					peakWorst -= PeakFactor * AvgRate * PacketBits
 				}

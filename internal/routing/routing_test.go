@@ -143,7 +143,7 @@ func TestCostLoadAvoidsBusyLink(t *testing.T) {
 	n.InstallRoute(7, []string{"A", "B"})
 	n.Node("B").SetSink(7, func(p *packet.Packet) {})
 	for i := 0; i < 1800; i++ {
-		eng.Schedule(float64(i)/900.0, func() {
+		eng.AtControl(float64(i)/900.0, func() {
 			q := n.Pool().Get()
 			q.FlowID = 7
 			q.Size = 1000

@@ -1097,6 +1097,7 @@ func (c *compiler) tcpDecl(d *Decl, at float64) {
 		// node's engine; its start must be scheduled there too.
 		eng := c.net.Topology().Node(nodes[0]).Engine()
 		if startAt > 0 {
+			//ispnvet:allow keyedevents: start events are registered in fixed compile order before the run begins, so the insertion-sequence tiebreak is identical in sequential and sharded modes
 			c.out.starts = append(c.out.starts, func() { eng.At(st.StartAt, conn.Start) })
 		} else {
 			c.out.starts = append(c.out.starts, conn.Start)
@@ -1265,6 +1266,7 @@ func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at flo
 				src.Start(eng, func(p *packet.Packet) { f.Inject(p) })
 			}
 			if startAt > at {
+				//ispnvet:allow keyedevents: scheduled from inside an already-keyed at-block, which fires at the same point in sequential and sharded runs, so the insertion-sequence tiebreak matches
 				eng.At(startAt, begin)
 			} else {
 				begin()
@@ -1283,6 +1285,7 @@ func (c *compiler) startSource(src source.Source, d *Decl, flow *SimFlow, at flo
 		src.Start(eng, func(p *packet.Packet) { f.Inject(p) })
 	}
 	if startAt > 0 {
+		//ispnvet:allow keyedevents: start events are registered in fixed compile order before the run begins, so the insertion-sequence tiebreak is identical in sequential and sharded modes
 		c.out.starts = append(c.out.starts, func() { eng.At(startAt, begin) })
 	} else {
 		c.out.starts = append(c.out.starts, begin)

@@ -135,6 +135,9 @@ at 25s { restore site.hub -> site.leaf2 }
 	if ch.Admitted == 0 {
 		t.Fatalf("no arrivals admitted outside the outage: %+v", ch)
 	}
+	if rep.RouteCache == nil {
+		t.Fatal("report has no route-cache section")
+	}
 	if rep.RouteCache.Invalidations < 2 {
 		t.Fatalf("fail+restore caused %d invalidations, want >= 2", rep.RouteCache.Invalidations)
 	}

@@ -81,6 +81,9 @@ at 3s { remove rival }
 at 4s { remove rival }
 `,
 			want: func(t *testing.T, rep *Report) {
+				if rep.Admission == nil {
+					t.Fatal("report has no admission section")
+				}
 				if got := rep.Admission.Departed; got != 0 {
 					t.Errorf("Departed = %d, want 0 (rival was never admitted)", got)
 				}
@@ -183,6 +186,9 @@ at 10s { renew f (rate 160kbps, bucket 50kbit) }
 				// total stays well under what 20s of policing would show.
 				if fr.EdgeDropped < 200 || fr.EdgeDropped > 550 {
 					t.Errorf("EdgeDropped = %d, want ~400 (policing only before the renew)", fr.EdgeDropped)
+				}
+				if rep.Admission == nil {
+					t.Fatal("report has no admission section")
 				}
 				if rep.Admission.Admitted != 1 {
 					t.Errorf("renew not counted as admitted: %+v", *rep.Admission)
@@ -337,6 +343,9 @@ func TestChurnRunsAndIsDeterministic(t *testing.T) {
 	}
 	if ch.Delivered == 0 {
 		t.Error("churn flows delivered nothing")
+	}
+	if a.Admission == nil {
+		t.Fatal("report has no admission section")
 	}
 	if a.Admission.Requested != ch.Arrivals {
 		t.Errorf("admission requested %d != churn arrivals %d", a.Admission.Requested, ch.Arrivals)

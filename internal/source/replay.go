@@ -53,6 +53,7 @@ func (r *Replay) Len() int { return len(r.items) }
 func (r *Replay) Start(eng *sim.Engine, inject Inject) {
 	for _, it := range r.items {
 		it := it
+		//ispnvet:allow keyedevents: the whole trace is scheduled at attach time in trace order, before the run starts, so the insertion-sequence tiebreak is identical in sequential and sharded modes
 		eng.At(it.Time, func() {
 			if r.stopped {
 				return

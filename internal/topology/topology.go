@@ -634,6 +634,7 @@ func (pt *Port) scheduleRetry(now float64) {
 		return
 	}
 	pt.retryArmed = true
+	//ispnvet:allow keyedevents: port-local self-tick on the port's own engine at the scheduler's eligibility instant; converting to a keyed or relative form would perturb the published timing of non-work-conserving schedules
 	pt.node.eng.At(t, func() {
 		pt.retryArmed = false
 		if !pt.busy {

@@ -1,0 +1,49 @@
+#!/bin/sh
+# lint-teeth.sh — prove `make lint` actually fails on a violation.
+#
+# Copies the repo into a scratch tree, seeds a deliberate unsorted-map-range
+# into internal/core, and requires `go vet -vettool=ispnvet` to exit nonzero
+# with a maprange finding. A lint gate that cannot fail is decoration; this
+# script runs in `make ci` so the gate's teeth are themselves tested.
+set -eu
+
+GO="${GO:-go}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# tar keeps this portable (no rsync dependency); the build cache and any
+# previously built binaries are irrelevant to the check.
+(cd "$root" && tar -cf - --exclude=.git --exclude=bin --exclude='*.pprof' .) | (cd "$tmp" && tar -xf -)
+
+cat > "$tmp/internal/core/zz_lint_teeth_seeded.go" <<'EOF'
+package core
+
+// Seeded by scripts/lint-teeth.sh: an order-dependent map iteration that
+// ispnvet's maprange analyzer must reject.
+func zzLintTeethSeeded(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+EOF
+
+cd "$tmp"
+$GO build -o bin/ispnvet ./cmd/ispnvet
+
+out="$tmp/vet.out"
+if $GO vet -vettool="$tmp/bin/ispnvet" ./internal/core >"$out" 2>&1; then
+	echo "lint-teeth: FAIL — seeded maprange violation was not rejected" >&2
+	cat "$out" >&2
+	exit 1
+fi
+if ! grep -q 'zz_lint_teeth_seeded.go.*maprange' "$out"; then
+	echo "lint-teeth: FAIL — vet failed, but not with the seeded maprange finding:" >&2
+	cat "$out" >&2
+	exit 1
+fi
+echo "lint-teeth: OK — seeded violation rejected by the maprange analyzer"
